@@ -1,0 +1,161 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (one experiment per table/figure; see lib/experiments and DESIGN.md's
+   experiment index), printing the same rows/series the paper reports —
+   first on the base synthetic graph, then the Appendix J robustness
+   subset on the IXP-augmented graph.
+
+   Part 2 runs Bechamel micro-benchmarks of the core algorithms.
+
+   Environment knobs: SBGP_BENCH_N (graph size, default 4000),
+   SBGP_SCALE (sample-size multiplier, default 1.0),
+   SBGP_SEED (default 42). *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let run_experiments () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let scale = env_float "SBGP_SCALE" 1.0 in
+  let ctx = Core.Experiments.Context.make ~n ~seed ~scale () in
+  Printf.printf "#### Experiment harness: %s ####\n\n%!"
+    (Core.Experiments.Context.describe ctx);
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      print_string (e.Core.Experiments.Registry.run ctx);
+      Printf.printf "[%s: %.1fs]\n\n%!" e.Core.Experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
+    Core.Experiments.Registry.all;
+  (* Appendix J: robustness of the headline results on the IXP-augmented
+     graph. *)
+  let ixp = Core.Experiments.Context.make ~n ~seed ~ixp:true ~scale () in
+  Printf.printf "#### Appendix J robustness: %s ####\n\n%!"
+    (Core.Experiments.Context.describe ixp);
+  List.iter
+    (fun id ->
+      match Core.Experiments.Registry.find id with
+      | Some e ->
+          let t0 = Unix.gettimeofday () in
+          print_string (e.Core.Experiments.Registry.run ixp);
+          Printf.printf "[%s (ixp): %.1fs]\n\n%!" id
+            (Unix.gettimeofday () -. t0)
+      | None -> assert false)
+    [ "baseline"; "partitions"; "partitions-tier"; "lpk" ]
+
+(* Micro-benchmarks of the core algorithms. *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let result =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n:1500)
+      (Core.Rng.create 1)
+  in
+  let g = result.Core.Topogen.graph in
+  let n = Core.Graph.n g in
+  let tiers = Core.Topogen.tiers result in
+  let dep = Core.Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let empty = Core.Deployment.empty n in
+  let dst = result.Core.Topogen.cps.(0) in
+  let attacker = (Core.Tiers.non_stubs tiers).(0) in
+  let attacker = if attacker = dst then 1 else attacker in
+  let policy m = Core.Policy.make m in
+  let engine p dep () =
+    ignore (Core.Engine.compute g p dep ~dst ~attacker:(Some attacker))
+  in
+  (* The staged reference algorithm and the dynamic simulator are
+     quadratic-ish; bench them on a small graph. *)
+  let small =
+    (Core.Topogen.generate
+       ~params:(Core.Topogen.default_params ~n:200)
+       (Core.Rng.create 2))
+      .Core.Topogen.graph
+  in
+  let small_dep = Core.Deployment.empty 200 in
+  let sec3 = policy Core.Policy.Security_third in
+  Test.make_grouped ~name:"sbgp"
+    [
+      Test.make ~name:"engine/sec1 (n=1500)"
+        (Staged.stage (engine (policy Core.Policy.Security_first) dep));
+      Test.make ~name:"engine/sec2 (n=1500)"
+        (Staged.stage (engine (policy Core.Policy.Security_second) dep));
+      Test.make ~name:"engine/sec3 (n=1500)"
+        (Staged.stage (engine (policy Core.Policy.Security_third) dep));
+      Test.make ~name:"engine/sec3-lp2 (n=1500)"
+        (Staged.stage
+           (engine
+              (Core.Policy.make ~lp:(Core.Policy.Lp_k 2)
+                 Core.Policy.Security_third)
+              dep));
+      Test.make ~name:"engine/baseline (n=1500)"
+        (Staged.stage (engine sec3 empty));
+      Test.make ~name:"partition/sec2 (n=1500)"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Partition.count g
+                  (policy Core.Policy.Security_second)
+                  ~attacker ~dst)));
+      Test.make ~name:"partition/sec1 (n=1500)"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Partition.count g
+                  (policy Core.Policy.Security_first)
+                  ~attacker ~dst)));
+      Test.make ~name:"staged-reference (n=200)"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Staged.compute small sec3 small_dep ~dst:0
+                  ~attacker:(Some 1))));
+      Test.make ~name:"bgpsim-converge (n=200)"
+        (Staged.stage (fun () ->
+             let sim =
+               Core.Bgpsim.create small sec3 small_dep ~dst:0 ~attacker:1 ()
+             in
+             ignore (Core.Bgpsim.run sim)));
+      Test.make ~name:"topogen (n=1500)"
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Topogen.generate
+                  ~params:(Core.Topogen.default_params ~n:1500)
+                  (Core.Rng.create 3))));
+    ]
+
+let run_micro () =
+  print_endline "#### Bechamel micro-benchmarks ####\n";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let per_run =
+        match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan
+      in
+      Printf.printf "  %-32s %12.1f ns/run  (r2=%s)\n" name per_run
+        (match Analyze.OLS.r_square est with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"))
+    (List.sort compare rows);
+  print_newline ()
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  run_experiments ();
+  run_micro ();
+  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

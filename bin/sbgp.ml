@@ -1,0 +1,181 @@
+(* Command-line interface to the reproduction: generate/save topologies
+   and run any of the paper's experiments at any scale. *)
+
+open Cmdliner
+
+let n_arg =
+  let doc = "Number of ASes in the synthetic topology." in
+  Arg.(value & opt int 4000 & info [ "n"; "size" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Seed for topology generation and sampling." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ixp_arg =
+  let doc =
+    "Use the IXP-augmented graph (extra synthetic peering edges, \
+     Appendix J)."
+  in
+  Arg.(value & flag & info [ "ixp" ] ~doc)
+
+let scale_arg =
+  let doc =
+    "Multiply every sample size (attackers, destinations) by this factor; \
+     larger is slower and closer to the paper's exhaustive averages."
+  in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
+
+let graph_arg =
+  let doc =
+    "Load the AS graph from this CAIDA-style relationship file instead of \
+     generating one (see `sbgp gen`).  Content providers default to the \
+     17 highest-peering-degree non-T1 ASes."
+  in
+  Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc)
+
+let context n seed ixp scale graph_file =
+  match graph_file with
+  | None -> Core.Experiments.Context.make ~n ~seed ~ixp ~scale ()
+  | Some path ->
+      (* Real CAIDA relationship files use sparse AS numbers; remap them
+         onto dense ids. *)
+      let g, _asns = Core.Serial.load_remapped path in
+      let g =
+        if ixp then fst (Core.Ixp.augment (Core.Rng.create (seed + 1)) g)
+        else g
+      in
+      (* Pick CPs: top peering-degree ASes with providers. *)
+      let candidates =
+        List.init (Core.Graph.n g) Fun.id
+        |> List.filter (fun v -> Array.length (Core.Graph.providers g v) > 0)
+        |> List.sort (fun a b ->
+               compare (Core.Graph.peer_degree g b) (Core.Graph.peer_degree g a))
+      in
+      let cps = Array.of_list (List.filteri (fun i _ -> i < 17) candidates) in
+      Core.Experiments.Context.of_graph ~seed ~scale
+        ~label:(Filename.basename path) g ~cps
+
+let gen_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "as-graph.txt"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run n seed ixp out =
+    let r =
+      Core.Topogen.generate
+        ~params:(Core.Topogen.default_params ~n)
+        (Core.Rng.create seed)
+    in
+    let g, added =
+      if ixp then Core.Ixp.augment (Core.Rng.create (seed + 1)) r.Core.Topogen.graph
+      else (r.Core.Topogen.graph, 0)
+    in
+    Core.Serial.save out g;
+    let tiers = Core.Tiers.classify ~cps:(Array.to_list r.Core.Topogen.cps) g in
+    Printf.printf "wrote %s\n%s" out (Core.Tiers.summary g tiers);
+    if ixp then Printf.printf "IXP augmentation added %d peer edges\n" added;
+    Printf.printf "designated CPs: %s\n"
+      (String.concat ", "
+         (Array.to_list (Array.map string_of_int r.Core.Topogen.cps)))
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic AS topology and save it.")
+    Term.(const run $ n_arg $ seed_arg $ ixp_arg $ out)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-16s %s (%s)\n" e.Core.Experiments.Registry.id
+          e.Core.Experiments.Registry.title e.Core.Experiments.Registry.paper)
+      Core.Experiments.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available experiments.")
+    Term.(const run $ const ())
+
+let run_experiment ?out_dir ctx entry =
+  let t0 = Unix.gettimeofday () in
+  let output = entry.Core.Experiments.Registry.run ctx in
+  (match out_dir with
+  | None -> print_string output
+  | Some dir ->
+      let path =
+        Filename.concat dir (entry.Core.Experiments.Registry.id ^ ".txt")
+      in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc output);
+      Printf.printf "wrote %s\n%!" path);
+  Printf.printf "[%s completed in %.1fs]\n\n%!"
+    entry.Core.Experiments.Registry.id
+    (Unix.gettimeofday () -. t0)
+
+let exp_cmd =
+  let which =
+    Arg.(
+      value
+      & pos_all string []
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"Experiment ids to run (default: all; see `sbgp list`).")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write each experiment's output to DIR/<id>.txt instead of stdout.")
+  in
+  let run n seed ixp scale graph_file out_dir which =
+    (match out_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    let ctx = context n seed ixp scale graph_file in
+    Printf.printf "context: %s\n\n%!" (Core.Experiments.Context.describe ctx);
+    let entries =
+      match which with
+      | [] -> Core.Experiments.Registry.all
+      | ids ->
+          List.map
+            (fun id ->
+              match Core.Experiments.Registry.find id with
+              | Some e -> e
+              | None ->
+                  prerr_endline
+                    ("unknown experiment: " ^ id ^ " (see `sbgp list`)");
+                  exit 2)
+            ids
+    in
+    List.iter (run_experiment ?out_dir ctx) entries
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one or more experiments (all of them by default).")
+    Term.(
+      const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ graph_arg $ out_dir
+      $ which)
+
+let info_cmd =
+  let run n seed ixp scale graph_file =
+    let ctx = context n seed ixp scale graph_file in
+    print_string (Core.Experiments.Context.describe ctx);
+    print_newline ();
+    print_string (Core.Tiers.summary ctx.Core.Experiments.Context.graph
+                    ctx.Core.Experiments.Context.tiers)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe the experiment context (graph, tiers).")
+    Term.(const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ graph_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "sbgp" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of 'BGP Security in Partial Deployment: Is the \
+          Juice Worth the Squeeze?' (SIGCOMM 2013).")
+    [ gen_cmd; list_cmd; exp_cmd; info_cmd ]
+
+let () = exit (Cmd.eval main)

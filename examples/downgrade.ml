@@ -1,0 +1,62 @@
+(* The protocol downgrade attack of Figure 2, step by step, on the
+   paper's exact topology: a webhosting company (AS 21740) with a secure
+   one-hop route to Level3 abandons it for a four-hop bogus route simply
+   because the bogus route arrives over a revenue-neutral peer link.
+
+   Run with:  dune exec examples/downgrade.exe *)
+
+open Core
+
+(* ids: 0 = Level3 (AS3356, the Tier 1 victim), 1 = webhost (AS21740),
+   2 = Cogent (AS174), 3 = AS3491, 4 = the attacker, 5 = the single-homed
+   stub AS3536. *)
+let g =
+  Graph.of_edges ~n:6
+    [
+      Graph.Customer_provider (1, 0) (* webhost buys transit from Level3 *);
+      Graph.Peer_peer (1, 2) (* webhost peers with Cogent *);
+      Graph.Peer_peer (2, 0) (* Cogent peers with Level3 *);
+      Graph.Customer_provider (3, 2) (* 3491 is Cogent's customer *);
+      Graph.Customer_provider (4, 3) (* the attacker buys from 3491 *);
+      Graph.Customer_provider (5, 0) (* the stub is Level3's customer *);
+    ]
+
+let names = [| "Level3"; "webhost"; "Cogent"; "AS3491"; "ATTACKER"; "stub" |]
+
+let path out v =
+  match Outcome.path out v with
+  | [] -> "(no route)"
+  | p ->
+      String.concat " -> " (List.map (fun a -> names.(a)) p)
+      ^ (if Outcome.secure out v then "  [secure]" else "  [insecure]")
+
+let () =
+  (* Level3, the webhost and the stub deploy S*BGP. *)
+  let dep = Deployment.make ~n:6 ~full:[| 0; 1; 5 |] () in
+  print_endline "Normal conditions (any security model):";
+  let normal =
+    Engine.compute g (Policy.make Policy.Security_second) dep ~dst:0
+      ~attacker:None
+  in
+  Printf.printf "  webhost: %s\n" (path normal 1);
+  Printf.printf "  (no peer route via Cogent exists: Ex forbids exporting\n";
+  Printf.printf "   Cogent's peer route to another peer)\n\n";
+
+  print_endline "The attacker announces the bogus path \"ATTACKER Level3\"";
+  print_endline "via legacy BGP (it passes origin validation!):\n";
+  List.iter
+    (fun model ->
+      let policy = Policy.make model in
+      let attack = Engine.compute g policy dep ~dst:0 ~attacker:(Some 4) in
+      Printf.printf "  %s:\n" (Policy.model_name model);
+      Printf.printf "    Cogent:  %s\n" (path attack 2);
+      Printf.printf "    webhost: %s%s\n" (path attack 1)
+        (if Outcome.happy_lb attack 1 then "" else "   <- DOWNGRADED");
+      Printf.printf "    stub:    %s\n" (path attack 5))
+    [ Policy.Security_first; Policy.Security_second; Policy.Security_third ];
+
+  print_endline
+    "\nUnder security 2nd/3rd the webhost prefers the insecure 4-hop PEER\n\
+     route over its secure 1-hop PROVIDER route (local preference first),\n\
+     so S*BGP bought it nothing — Theorem 3.1 shows this cannot happen\n\
+     when security is ranked 1st."

@@ -1,0 +1,69 @@
+(* The S*BGP Wedgie of Figure 1: when ASes place security differently in
+   their decision processes, a link flap can wedge routing in an
+   unintended stable state that persists after the link recovers.
+
+   Run with:  dune exec examples/wedgie.exe *)
+
+open Core
+
+(* The topology of Figure 1 (ids in comments are the paper's AS numbers).
+   The destination AS3 (0) is a customer of both AS31027 (5) and
+   AS8928 (1); the chain 8928 <- 34226 <- 31283 <- 29518 <- 31027 climbs
+   customer-to-provider edges. *)
+let g =
+  Graph.of_edges ~n:6
+    [
+      Graph.Customer_provider (0, 5);
+      Graph.Customer_provider (0, 1);
+      Graph.Customer_provider (1, 2);
+      Graph.Customer_provider (2, 3);
+      Graph.Customer_provider (3, 4);
+      Graph.Customer_provider (4, 5);
+    ]
+
+let names =
+  [| "AS3(dst)"; "AS8928"; "AS34226"; "AS31283"; "AS29518"; "AS31027" |]
+
+let show sim =
+  for v = 1 to 5 do
+    Printf.printf "    %-10s -> %s\n" names.(v)
+      (match Bgpsim.chosen_path sim v with
+      | None -> "(no route)"
+      | Some p -> String.concat " " (List.map (fun a -> names.(a)) p))
+  done
+
+let () =
+  (* Everyone but AS8928 runs S*BGP. *)
+  let dep = Deployment.make ~n:6 ~full:[| 0; 2; 3; 4; 5 |] () in
+  (* AS31283 ranks security 1st; everyone else ranks it 3rd — the
+     inconsistent placement of Section 2.3. *)
+  let sec1 = Policy.make Policy.Security_first in
+  let sec3 = Policy.make Policy.Security_third in
+  let policy_of v = if v = 3 then sec1 else sec3 in
+  let sim = Bgpsim.create ~policy_of g sec3 dep ~dst:0 () in
+
+  print_endline "Converging to the intended state (via a maintenance window";
+  print_endline "on the 34226-31283 link, as an operator would):";
+  Bgpsim.set_link sim 2 3 ~up:false;
+  ignore (Bgpsim.run sim);
+  Bgpsim.set_link sim 2 3 ~up:true;
+  ignore (Bgpsim.run sim);
+  show sim;
+
+  print_endline "\nThe 31027-AS3 link fails; routing reconverges:";
+  Bgpsim.set_link sim 5 0 ~up:false;
+  ignore (Bgpsim.run sim);
+  show sim;
+
+  print_endline "\nThe link recovers... but BGP does NOT return to the";
+  print_endline "intended state (the wedgie):";
+  Bgpsim.set_link sim 5 0 ~up:true;
+  ignore (Bgpsim.run sim);
+  show sim;
+
+  print_endline
+    "\nAS31283 is stuck on the insecure customer path even though it ranks\n\
+     security first — its secure provider path is no longer announced,\n\
+     because AS29518 (ranking security 3rd) now prefers its\n\
+     revenue-generating customer route.  Guideline 1 of the paper: all\n\
+     ASes should place SecP at the same position."

@@ -1,0 +1,252 @@
+type announcement = { path : int list; signed : bool }
+
+type t = {
+  graph : Topology.Graph.t;
+  policy_of : int -> Routing.Policy.t;
+  dep : Deployment.t;
+  dst : int;
+  attacker : int option;
+  hysteresis : bool;
+  mutable attack_active : bool;
+  ribs : (int, announcement) Hashtbl.t array; (* ribs.(v): neighbor -> ann *)
+  chosen : announcement option array;
+  down : (int * int, unit) Hashtbl.t; (* failed links, key (min, max) *)
+}
+
+let key a b = if a < b then (a, b) else (b, a)
+let alive t a b = not (Hashtbl.mem t.down (key a b))
+
+(* Relationship of neighbor [u] from [v]'s point of view. *)
+let rel t v u =
+  if Array.exists (( = ) u) (Topology.Graph.customers t.graph v) then
+    Routing.Policy.Customer
+  else if Array.exists (( = ) u) (Topology.Graph.peers t.graph v) then
+    Routing.Policy.Peer
+  else if Array.exists (( = ) u) (Topology.Graph.providers t.graph v) then
+    Routing.Policy.Provider
+  else invalid_arg (Printf.sprintf "Bgpsim: %d and %d are not neighbors" v u)
+
+let is_root t v = v = t.dst || t.attacker = Some v
+
+let neighbors t v =
+  Array.concat
+    [
+      Topology.Graph.customers t.graph v;
+      Topology.Graph.peers t.graph v;
+      Topology.Graph.providers t.graph v;
+    ]
+
+(* What [v] currently announces, if anything. *)
+let announcement_of t v =
+  if v = t.dst then
+    Some { path = [ t.dst ]; signed = Deployment.signs_origin t.dep t.dst }
+  else
+    match t.attacker with
+    | Some m when v = m ->
+        if t.attack_active then Some { path = [ m; t.dst ]; signed = false }
+        else None
+    | _ -> (
+        match t.chosen.(v) with
+        | None -> None
+        | Some ann ->
+            Some
+              {
+                path = v :: ann.path;
+                signed = ann.signed && Deployment.is_full t.dep v;
+              })
+
+(* Does Ex allow [v] to announce its current route to [w]? *)
+let audience_includes t v w =
+  if is_root t v then true
+  else
+    match t.chosen.(v) with
+    | None -> false
+    | Some ann -> (
+        match rel t v w with
+        | Routing.Policy.Customer -> true (* w is v's customer *)
+        | Routing.Policy.Peer | Routing.Policy.Provider ->
+            (* only customer-routes go to peers and providers *)
+            rel t v (List.hd ann.path) = Routing.Policy.Customer)
+
+(* Refresh what sits in [w]'s RIB for neighbor [v]. *)
+let announce_to t v w =
+  if alive t v w && audience_includes t v w then
+    match announcement_of t v with
+    | Some ann -> Hashtbl.replace t.ribs.(w) v ann
+    | None -> Hashtbl.remove t.ribs.(w) v
+  else Hashtbl.remove t.ribs.(w) v
+
+let broadcast t v = Array.iter (fun w -> announce_to t v w) (neighbors t v)
+
+let create ?policy_of ?(hysteresis = false) graph policy dep ~dst ?attacker () =
+  let n = Topology.Graph.n graph in
+  if dst < 0 || dst >= n then invalid_arg "Bgpsim.create: dst out of range";
+  (match attacker with
+  | Some m when m < 0 || m >= n || m = dst ->
+      invalid_arg "Bgpsim.create: bad attacker"
+  | Some _ | None -> ());
+  let t =
+    {
+      graph;
+      policy_of = (match policy_of with Some f -> f | None -> fun _ -> policy);
+      dep;
+      dst;
+      attacker;
+      hysteresis;
+      attack_active = true;
+      ribs = Array.init n (fun _ -> Hashtbl.create 4);
+      chosen = Array.make n None;
+      down = Hashtbl.create 8;
+    }
+  in
+  broadcast t dst;
+  (match attacker with Some m -> broadcast t m | None -> ());
+  t
+
+(* Best route selection at [v] per its local decision process; TB picks the
+   lowest-numbered next hop. *)
+let select t v =
+  let policy = t.policy_of v in
+  let best = ref None in
+  Hashtbl.iter
+    (fun u ann ->
+      if not (List.mem v ann.path) then begin
+        let cand =
+          ( rel t v u,
+            List.length ann.path,
+            ann.signed && Deployment.is_full t.dep v )
+        in
+        match !best with
+        | None -> best := Some (u, ann, cand)
+        | Some (u', _, cand') ->
+            let c = Routing.Policy.compare_routes policy cand cand' in
+            if c < 0 || (c = 0 && u < u') then best := Some (u, ann, cand)
+      end)
+    t.ribs.(v);
+  match !best with None -> None | Some (_, ann, _) -> Some ann
+
+(* The chosen announcement is still present, identical, in the RIB. *)
+let still_valid t v ann =
+  match ann.path with
+  | [] -> false
+  | u :: _ as path ->
+      (not (List.mem v path))
+      && Hashtbl.find_opt t.ribs.(v) u = Some ann
+
+let reselect t v =
+  if is_root t v then false
+  else begin
+    let next = select t v in
+    let next =
+      (* Hysteresis (the mitigation sketched in the paper's Section 8):
+         an AS holding a valid secure route refuses to replace it with an
+         insecure one, even when its decision process ranks the insecure
+         route higher. *)
+      if not t.hysteresis then next
+      else
+        match (t.chosen.(v), next) with
+        | Some cur, Some cand
+          when cur.signed
+               && Deployment.is_full t.dep v
+               && (not cand.signed)
+               && still_valid t v cur ->
+            Some cur
+        | Some cur, None when cur.signed && still_valid t v cur -> Some cur
+        | _ -> next
+    in
+    if next = t.chosen.(v) then false
+    else begin
+      t.chosen.(v) <- next;
+      broadcast t v;
+      true
+    end
+  end
+
+let set_attack t ~active =
+  match t.attacker with
+  | None -> invalid_arg "Bgpsim.set_attack: no attacker configured"
+  | Some m ->
+      t.attack_active <- active;
+      broadcast t m
+
+let run ?schedule ?(max_sweeps = 1000) t =
+  let n = Topology.Graph.n t.graph in
+  let order = Array.init n (fun i -> i) in
+  let sweeps = ref 0 in
+  let quiet = ref false in
+  while not !quiet do
+    if !sweeps >= max_sweeps then
+      failwith
+        (Printf.sprintf "Bgpsim.run: no convergence after %d sweeps"
+           max_sweeps);
+    incr sweeps;
+    (match schedule with Some rng -> Rng.shuffle rng order | None -> ());
+    let changed = ref false in
+    Array.iter (fun v -> if reselect t v then changed := true) order;
+    quiet := not !changed
+  done;
+  !sweeps
+
+let set_link t a b ~up =
+  (* Validates adjacency. *)
+  let (_ : Routing.Policy.route_class) = rel t a b in
+  if up then begin
+    Hashtbl.remove t.down (key a b);
+    announce_to t a b;
+    announce_to t b a
+  end
+  else begin
+    Hashtbl.replace t.down (key a b) ();
+    Hashtbl.remove t.ribs.(a) b;
+    Hashtbl.remove t.ribs.(b) a
+  end
+
+let chosen_path t v =
+  if v = t.dst then Some [ t.dst ]
+  else
+    match t.attacker with
+    | Some m when v = m -> Some [ m; t.dst ]
+    | _ -> Option.map (fun ann -> ann.path) t.chosen.(v)
+
+let route_secure t v =
+  match t.chosen.(v) with
+  | None -> false
+  | Some ann -> ann.signed && Deployment.is_full t.dep v
+
+let uses_attacker t v =
+  match t.attacker with
+  | None -> false
+  | Some m -> (
+      if v = m then true
+      else
+        match t.chosen.(v) with
+        | None -> false
+        | Some ann -> List.mem m ann.path)
+
+let snapshot t = Array.init (Topology.Graph.n t.graph) (chosen_path t)
+
+let to_outcome t =
+  let n = Topology.Graph.n t.graph in
+  let outcome = Routing.Outcome.create ~n ~dst:t.dst ~attacker:t.attacker in
+  Routing.Outcome.fix_root outcome t.dst ~len:0
+    ~secure:(Deployment.signs_origin t.dep t.dst)
+    ~to_d:true ~to_m:false ~parent:(-1);
+  (match t.attacker with
+  | Some m ->
+      Routing.Outcome.fix_root outcome m ~len:1 ~secure:false ~to_d:false
+        ~to_m:true ~parent:t.dst
+  | None -> ());
+  for v = 0 to n - 1 do
+    if not (is_root t v) then
+      match t.chosen.(v) with
+      | None -> ()
+      | Some ann ->
+          let attacked = uses_attacker t v in
+          Routing.Outcome.fix outcome v
+            ~cls:(rel t v (List.hd ann.path))
+            ~len:(List.length ann.path)
+            ~secure:(ann.signed && Deployment.is_full t.dep v)
+            ~to_d:(not attacked) ~to_m:attacked
+            ~parent:(List.hd ann.path)
+  done;
+  outcome

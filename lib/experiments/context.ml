@@ -1,0 +1,65 @@
+type t = {
+  label : string;
+  graph : Topology.Graph.t;
+  tiers : Topology.Tiers.t;
+  cps : int array;
+  seed : int;
+  scale : float;
+  all : int array;
+  non_stubs : int array;
+}
+
+let finish ~label ~seed ~scale graph cps =
+  let tiers = Topology.Tiers.classify ~cps:(Array.to_list cps) graph in
+  {
+    label;
+    graph;
+    tiers;
+    cps;
+    seed;
+    scale;
+    all = Array.init (Topology.Graph.n graph) Fun.id;
+    non_stubs = Topology.Tiers.non_stubs tiers;
+  }
+
+let make ?(n = 4000) ?(seed = 42) ?(ixp = false) ?(scale = 1.) () =
+  let r = Topogen.generate ~params:(Topogen.default_params ~n) (Rng.create seed) in
+  let graph, label =
+    if ixp then begin
+      let g, _added = Topology.Ixp.augment (Rng.create (seed + 1)) r.Topogen.graph in
+      (g, "ixp")
+    end
+    else (r.Topogen.graph, "base")
+  in
+  finish ~label ~seed ~scale graph r.Topogen.cps
+
+let of_graph ?(seed = 42) ?(scale = 1.) ~label graph ~cps =
+  finish ~label ~seed ~scale graph cps
+
+let rng t purpose =
+  (* Mix the purpose string into the seed so each experiment gets an
+     independent reproducible stream. *)
+  Rng.create (t.seed + (7919 * Hashtbl.hash purpose))
+
+let scaled t k = max 1 (int_of_float (ceil (float_of_int k *. t.scale)))
+
+let sample t purpose pool k =
+  let k = min k (Array.length pool) in
+  let idx = Rng.sample_without_replacement (rng t purpose) k (Array.length pool) in
+  let out = Array.map (fun i -> pool.(i)) idx in
+  Array.sort compare out;
+  out
+
+let tier_members t tier = Topology.Tiers.members t.tiers tier
+
+let sec1 = Routing.Policy.make Routing.Policy.Security_first
+let sec2 = Routing.Policy.make Routing.Policy.Security_second
+let sec3 = Routing.Policy.make Routing.Policy.Security_third
+let policies = [ sec1; sec2; sec3 ]
+
+let describe t =
+  Printf.sprintf "graph=%s n=%d c2p=%d p2p=%d seed=%d scale=%.1f" t.label
+    (Topology.Graph.n t.graph)
+    (Topology.Graph.num_customer_provider_edges t.graph)
+    (Topology.Graph.num_peer_edges t.graph)
+    t.seed t.scale

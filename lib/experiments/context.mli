@@ -1,0 +1,52 @@
+(** Shared setup for the paper's experiments: the synthetic AS graph (or
+    its IXP-augmented variant), tier classification, and seeded sampling
+    of attackers, destinations and sources.
+
+    The paper averages over all |V|^2 attacker-destination pairs on a
+    supercomputer; we estimate the same averages from seeded uniform
+    samples (DESIGN.md §4).  [scale] multiplies every sample size, so any
+    experiment can be re-run closer to exhaustively from the CLI. *)
+
+type t = {
+  label : string;  (** "base" or "ixp" *)
+  graph : Topology.Graph.t;
+  tiers : Topology.Tiers.t;
+  cps : int array;
+  seed : int;
+  scale : float;
+  all : int array;        (** every AS *)
+  non_stubs : int array;  (** the non-stub attacker pool M' of Section 5 *)
+}
+
+val make :
+  ?n:int -> ?seed:int -> ?ixp:bool -> ?scale:float -> unit -> t
+(** Defaults: [n = 4000], [seed = 42], [ixp = false], [scale = 1.].
+    Deterministic: the same arguments produce the same context. *)
+
+val of_graph :
+  ?seed:int -> ?scale:float -> label:string ->
+  Topology.Graph.t -> cps:int array -> t
+(** Wrap an externally loaded graph (e.g. real CAIDA data via
+    {!Topology.Serial}). *)
+
+val rng : t -> string -> Rng.t
+(** A fresh generator derived from the context seed and a purpose string,
+    so experiments draw independent but reproducible samples. *)
+
+val scaled : t -> int -> int
+(** [scaled ctx k] is [k] multiplied by the context scale (at least 1). *)
+
+val sample : t -> string -> int array -> int -> int array
+(** [sample ctx purpose pool k] draws [min k (length pool)] distinct
+    elements of [pool]. *)
+
+val tier_members : t -> Topology.Tiers.tier -> int array
+
+val policies : Routing.Policy.t list
+(** The three standard-LP security models, in order 1st, 2nd, 3rd. *)
+
+val sec1 : Routing.Policy.t
+val sec2 : Routing.Policy.t
+val sec3 : Routing.Policy.t
+
+val describe : t -> string

@@ -1,0 +1,75 @@
+(* Figure 13: what happens to the secure routes toward each content
+   provider when S is the Tier 1s, the CPs, and all their stubs, under
+   security 3rd.  Paper: most secure routes are lost to protocol
+   downgrades, and almost all that survive belong to immune sources. *)
+
+let name = "cp-fate"
+let title = "Figure 13: fate of secure routes to content providers"
+let paper = "Figure 13; Section 5.3.1"
+
+let run_policy (ctx : Context.t) policy =
+  let dep = Deployment.tier1_and_stubs ~with_cps:true ctx.graph ctx.tiers in
+  let attackers =
+    Context.sample ctx "cpfate-att" ctx.non_stubs (Context.scaled ctx 30)
+  in
+  let n = Topology.Graph.n ctx.graph in
+  let table =
+    Prelude.Table.create
+      ~header:
+        [
+          "CP dest";
+          "secure routes (normal)";
+          "lost to downgrade";
+          "kept, immune source";
+          "kept, other";
+        ]
+  in
+  Array.iteri
+    (fun cp_index dst ->
+      let normal =
+        Routing.Engine.compute ctx.graph policy dep ~dst ~attacker:None
+      in
+      let secure_normal = ref 0 in
+      for v = 0 to n - 1 do
+        if v <> dst && Routing.Outcome.secure normal v then incr secure_normal
+      done;
+      let downgraded = ref 0 and kept_immune = ref 0 and kept_other = ref 0 in
+      let samples = ref 0 in
+      Array.iter
+        (fun attacker ->
+          if attacker <> dst then begin
+            incr samples;
+            let attack =
+              Routing.Engine.compute ctx.graph policy dep ~dst
+                ~attacker:(Some attacker)
+            in
+            let classes =
+              Metric.Partition.compute ctx.graph policy ~attacker ~dst
+            in
+            for v = 0 to n - 1 do
+              if v <> dst && v <> attacker && Routing.Outcome.secure normal v
+              then
+                if not (Routing.Outcome.secure attack v) then incr downgraded
+                else if classes.(v) = Metric.Partition.Immune then
+                  incr kept_immune
+                else incr kept_other
+            done
+          end)
+        attackers;
+      let sources = float_of_int ((n - 2) * !samples) in
+      let frac x = float_of_int x /. sources in
+      Prelude.Table.add_row table
+        [
+          Printf.sprintf "CP%d (AS %d)" (cp_index + 1) dst;
+          Util.pct (float_of_int !secure_normal /. float_of_int (n - 1));
+          Util.pct (frac !downgraded);
+          Util.pct (frac !kept_immune);
+          Util.pct (frac !kept_other);
+        ])
+    ctx.cps;
+  table
+
+let run (ctx : Context.t) =
+  Util.header title paper
+  ^ "security 3rd:\n"
+  ^ Prelude.Table.to_string (run_policy ctx Context.sec3)

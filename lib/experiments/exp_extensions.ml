@@ -1,0 +1,201 @@
+(* Section 8 (conclusion / future work): the two mitigations the paper
+   sketches for its negative results, evaluated with the dynamic
+   simulator:
+
+   1. Hysteresis — a secure AS does not drop a valid secure route for a
+      "better" insecure one.  This targets protocol downgrades, the
+      paper's dominant loss mechanism.
+   2. Islands — a set of ASes agrees to prioritize security 1st (while
+      the rest of the Internet ranks it 3rd).  Mixed placements can
+      destabilize routing (Section 2.3), so non-convergence is detected
+      and reported. *)
+
+let name = "extensions"
+let title = "Section 8 extensions: hysteresis and security-1st islands"
+let paper = "Section 8 (future work); Sections 3.2, 2.3"
+
+(* The dynamic simulator is much slower than the static engine, so this
+   experiment runs on its own smaller graph. *)
+let setup (ctx : Context.t) =
+  let n = min 800 (Topology.Graph.n ctx.graph) in
+  let r = Topogen.generate ~params:(Topogen.default_params ~n) (Rng.create ctx.seed) in
+  let tiers = Topogen.tiers r in
+  (r.Topogen.graph, tiers)
+
+let happy_fraction sim g ~dst ~attacker =
+  let n = Topology.Graph.n g in
+  let happy = ref 0 in
+  for v = 0 to n - 1 do
+    if
+      v <> dst && v <> attacker
+      && Bgpsim.chosen_path sim v <> None
+      && not (Bgpsim.uses_attacker sim v)
+    then incr happy
+  done;
+  Prelude.Stats.fraction !happy (n - 2)
+
+let downgrade_count normal_secure sim g ~dst ~attacker =
+  let count = ref 0 in
+  for v = 0 to Topology.Graph.n g - 1 do
+    if v <> dst && v <> attacker && normal_secure.(v)
+       && not (Bgpsim.route_secure sim v)
+    then incr count
+  done;
+  !count
+
+let run_hysteresis (ctx : Context.t) g tiers =
+  let policy = Context.sec3 in
+  let dep = Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let rng = Context.rng ctx "ext-hyst" in
+  let n = Topology.Graph.n g in
+  let pairs = 25 in
+  let table =
+    Prelude.Table.create
+      ~header:[ "variant"; "avg happy"; "downgrades (total)"; "converged" ]
+  in
+  List.iter
+    (fun (label, hysteresis) ->
+      let rng = Rng.copy rng in
+      let happy_sum = ref 0. and downs = ref 0 and runs = ref 0 in
+      let diverged = ref 0 in
+      for _ = 1 to pairs do
+        let dst = Rng.int rng n and attacker = Rng.int rng n in
+        if dst <> attacker then begin
+          incr runs;
+          (* Converge under normal conditions first; the attack then
+             perturbs the established routing state, which is where
+             hysteresis matters. *)
+          let sim = Bgpsim.create ~hysteresis g policy dep ~dst ~attacker () in
+          Bgpsim.set_attack sim ~active:false;
+          ignore (Bgpsim.run sim);
+          let normal_secure =
+            Array.init n (fun v -> Bgpsim.route_secure sim v)
+          in
+          Bgpsim.set_attack sim ~active:true;
+          match Bgpsim.run ~max_sweeps:300 sim with
+          | exception Failure _ -> incr diverged
+          | _ ->
+              happy_sum := !happy_sum +. happy_fraction sim g ~dst ~attacker;
+              downs := !downs + downgrade_count normal_secure sim g ~dst ~attacker
+        end
+      done;
+      Prelude.Table.add_row table
+        [
+          label;
+          Prelude.Stats.percent (!happy_sum /. float_of_int (max 1 (!runs - !diverged)));
+          string_of_int !downs;
+          Printf.sprintf "%d/%d" (!runs - !diverged) !runs;
+        ])
+    [ ("standard S*BGP (sec 3rd)", false); ("with hysteresis", true) ];
+  Prelude.Table.to_string table
+
+let run_islands (ctx : Context.t) g tiers =
+  let sec1 = Context.sec1 and sec3 = Context.sec3 in
+  let island =
+    (* The Tier 2s and the content providers form the island. *)
+    Array.append
+      (Topology.Tiers.members tiers Topology.Tiers.T2)
+      (Topology.Tiers.members tiers Topology.Tiers.Cp)
+  in
+  let in_island = Hashtbl.create (Array.length island) in
+  Array.iter (fun v -> Hashtbl.replace in_island v ()) island;
+  let dep =
+    Deployment.make ~n:(Topology.Graph.n g) ~full:island ()
+  in
+  let policy_of v = if Hashtbl.mem in_island v then sec1 else sec3 in
+  let rng = Context.rng ctx "ext-isl" in
+  let n = Topology.Graph.n g in
+  let table =
+    Prelude.Table.create
+      ~header:[ "variant"; "avg happy (island dests)"; "converged" ]
+  in
+  List.iter
+    (fun (label, policy_of) ->
+      let rng = Rng.copy rng in
+      let happy_sum = ref 0. and runs = ref 0 and diverged = ref 0 in
+      for _ = 1 to 20 do
+        let dst = island.(Rng.int rng (Array.length island)) in
+        let attacker = Rng.int rng n in
+        if dst <> attacker then begin
+          incr runs;
+          let sim =
+            Bgpsim.create ~policy_of g sec3 dep ~dst ~attacker ()
+          in
+          match Bgpsim.run ~max_sweeps:300 sim with
+          | exception Failure _ -> incr diverged
+          | _ -> happy_sum := !happy_sum +. happy_fraction sim g ~dst ~attacker
+        end
+      done;
+      Prelude.Table.add_row table
+        [
+          label;
+          Prelude.Stats.percent
+            (!happy_sum /. float_of_int (max 1 (!runs - !diverged)));
+          Printf.sprintf "%d/%d" (!runs - !diverged) !runs;
+        ])
+    [
+      ("everyone security 3rd", fun _ -> sec3);
+      ("T2+CP island ranks security 1st", policy_of);
+      ("everyone security 1st", fun _ -> sec1);
+    ];
+  Prelude.Table.to_string table
+
+(* Section 2.3 + the operator survey [18]: what if operators place SecP
+   per the surveyed proportions (10% 1st, 20% 2nd, 41% 3rd, 29%
+   undecided — modelled as 3rd)?  Inconsistent placement forfeits
+   Theorem 2.1; we measure how often routing still converges and what
+   the mix delivers. *)
+let run_survey_mix (ctx : Context.t) g tiers =
+  let dep = Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let n = Topology.Graph.n g in
+  let assign_rng = Context.rng ctx "ext-survey-assign" in
+  let assignment =
+    Array.init n (fun _ ->
+        let r = Rng.int assign_rng 100 in
+        if r < 10 then Context.sec1
+        else if r < 30 then Context.sec2
+        else Context.sec3)
+  in
+  let table =
+    Prelude.Table.create ~header:[ "policy placement"; "avg happy"; "converged" ]
+  in
+  List.iter
+    (fun (label, policy_of) ->
+      let rng = Context.rng ctx "ext-survey-pairs" in
+      let happy_sum = ref 0. and runs = ref 0 and diverged = ref 0 in
+      for _ = 1 to 20 do
+        let dst = Rng.int rng n and attacker = Rng.int rng n in
+        if dst <> attacker then begin
+          incr runs;
+          let sim = Bgpsim.create ~policy_of g Context.sec3 dep ~dst ~attacker () in
+          match Bgpsim.run ~max_sweeps:300 sim with
+          | exception Failure _ -> incr diverged
+          | _ -> happy_sum := !happy_sum +. happy_fraction sim g ~dst ~attacker
+        end
+      done;
+      Prelude.Table.add_row table
+        [
+          label;
+          Prelude.Stats.percent
+            (!happy_sum /. float_of_int (max 1 (!runs - !diverged)));
+          Printf.sprintf "%d/%d" (!runs - !diverged) !runs;
+        ])
+    [
+      ("uniform: security 3rd", fun _ -> Context.sec3);
+      ("survey mix (10/20/41% -> 1st/2nd/3rd)", fun v -> assignment.(v));
+      ("uniform: security 2nd", fun _ -> Context.sec2);
+    ];
+  Prelude.Table.to_string table
+
+let run (ctx : Context.t) =
+  let g, tiers = setup ctx in
+  Util.header title paper
+  ^ Printf.sprintf "(dynamic simulator, %d ASes)\n\n" (Topology.Graph.n g)
+  ^ "Hysteresis against protocol downgrades (security 3rd, T1+T2+stubs secure):\n"
+  ^ run_hysteresis ctx g tiers
+  ^ "\nSecurity-1st islands (island = all T2s and CPs, island members secure):\n"
+  ^ run_islands ctx g tiers
+  ^ "\nOperator-survey policy mix (Section 2.3 + the survey of [18]):\n"
+  ^ run_survey_mix ctx g tiers
+  ^ "note: mixed placements forfeit the convergence guarantee of Theorem 2.1;\n\
+     the 'converged' column reports how many instances reached a stable state.\n"

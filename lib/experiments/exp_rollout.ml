@@ -1,0 +1,161 @@
+(* Figures 7(a), 7(b), 8 and 11, plus the non-stub deployment of Section
+   5.2.4: metric improvements along partial-deployment rollouts.
+
+   Paper expectations: with ~50% of the graph secure (last Tier 1+2
+   step), security 1st improves H by ~24 points while security 2nd and
+   3rd see only meagre gains; simplex S*BGP at stubs barely moves the
+   numbers (the "error bars"); the Tier-2-only rollout grows more slowly
+   with a smaller sec1/sec2 gap; securing only non-stubs gives ~6.2 /
+   4.7 / 2.2 point worst-case improvements. *)
+
+let name = "rollout"
+let title = "Figures 7, 8, 11: metric improvement under deployment rollouts"
+let paper = "Figures 7(a), 7(b), 8, 11; Sections 5.2-5.3.2"
+
+type step = {
+  step_label : string;
+  dep : Deployment.t;
+  simplex : Deployment.t option;
+}
+
+let dep_step ?simplex step_label dep = { step_label; dep; simplex }
+
+(* Average per-destination improvement over secure destinations d in S
+   (Figure 7(b)). *)
+let secure_dest_delta (ctx : Context.t) policy dep ~attackers ~n_dsts =
+  let secure = Deployment.secure_list dep in
+  if Array.length secure = 0 then None
+  else begin
+    let dsts =
+      Context.sample ctx
+        ("rollout-securedst-" ^ Routing.Policy.name policy)
+        secure n_dsts
+    in
+    let deltas =
+      Util.per_destination_changes ctx.graph policy dep ~attackers ~dsts
+    in
+    let avg f =
+      Prelude.Stats.mean (Array.map (fun (_, b) -> f b) deltas)
+    in
+    Some
+      {
+        Metric.H_metric.lb = avg (fun b -> b.Metric.H_metric.lb);
+        ub = avg (fun b -> b.Metric.H_metric.ub);
+      }
+  end
+
+let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
+  let attackers =
+    Context.sample ctx "rollout-att" ctx.non_stubs (Context.scaled ctx 30)
+  in
+  let dsts =
+    match dsts_mode with
+    | `All -> Context.sample ctx "rollout-dst" ctx.all (Context.scaled ctx 45)
+    | `Cps -> ctx.cps
+  in
+  let pairs = Metric.H_metric.pairs ~attackers ~dsts () in
+  let table =
+    Prelude.Table.create
+      ~header:
+        [
+          "step";
+          "secure";
+          "model";
+          "dH pessimistic";
+          "dH optimistic";
+          "dH simplex stubs";
+          "dH over d in S";
+        ]
+  in
+  let baselines =
+    List.map
+      (fun policy -> (policy, Util.h ctx.graph policy (Deployment.empty (Topology.Graph.n ctx.graph)) pairs))
+      Context.policies
+  in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun policy ->
+          let baseline = List.assq policy baselines in
+          let with_s = Util.h ctx.graph policy step.dep pairs in
+          let delta = Metric.H_metric.bounds_improvement with_s baseline in
+          let simplex_cell =
+            match step.simplex with
+            | None -> "-"
+            | Some sdep ->
+                let ws = Util.h ctx.graph policy sdep pairs in
+                Util.pct_delta (Metric.H_metric.bounds_improvement ws baseline)
+          in
+          let per_dest =
+            secure_dest_delta ctx policy step.dep ~attackers
+              ~n_dsts:(Context.scaled ctx 50)
+          in
+          Prelude.Table.add_row table
+            [
+              step.step_label;
+              Deployment.describe step.dep;
+              Routing.Policy.name policy;
+              Util.pct delta.Metric.H_metric.lb;
+              Util.pct delta.Metric.H_metric.ub;
+              simplex_cell;
+              (match per_dest with
+              | None -> "-"
+              | Some b -> Util.pct_delta b);
+            ])
+        Context.policies;
+      Prelude.Table.add_separator table)
+    steps;
+  table
+
+let t1_t2_steps (ctx : Context.t) ~with_cps ~simplex =
+  List.map
+    (fun (x, y) ->
+      let base = Deployment.tier1_tier2 ctx.graph ctx.tiers ~n_t1:x ~n_t2:y in
+      let base = if with_cps then Deployment.with_cps ctx.graph ctx.tiers base else base in
+      let simplex_dep =
+        if simplex then begin
+          let d =
+            Deployment.tier1_tier2 ~stub_mode:Deployment.Simplex ctx.graph
+              ctx.tiers ~n_t1:x ~n_t2:y
+          in
+          Some (if with_cps then Deployment.with_cps ctx.graph ctx.tiers d else d)
+        end
+        else None
+      in
+      dep_step ?simplex:simplex_dep (Printf.sprintf "T1=%d,T2=%d" x y) base)
+    [ (13, 13); (13, 37); (13, 100) ]
+
+let t2_steps (ctx : Context.t) =
+  List.map
+    (fun y ->
+      dep_step
+        (Printf.sprintf "T2=%d" y)
+        (Deployment.tier2_only ctx.graph ctx.tiers ~n_t2:y))
+    [ 13; 26; 50; 100 ]
+
+let run (ctx : Context.t) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Util.header title paper);
+  Buffer.add_string buf
+    "Figure 7(a/b) - Tier 1 + Tier 2 rollout (all destinations; simplex-stub variant as 'error bars'):\n";
+  Buffer.add_string buf
+    (Prelude.Table.to_string
+       (run_rollout ctx ~steps:(t1_t2_steps ctx ~with_cps:false ~simplex:true)
+          ~dsts_mode:`All));
+  Buffer.add_string buf
+    "\nFigure 8 - Tier 1 + Tier 2 + CP rollout, metric over CP destinations:\n";
+  Buffer.add_string buf
+    (Prelude.Table.to_string
+       (run_rollout ctx ~steps:(t1_t2_steps ctx ~with_cps:true ~simplex:false)
+          ~dsts_mode:`Cps));
+  Buffer.add_string buf "\nFigure 11 - Tier 2 rollout:\n";
+  Buffer.add_string buf
+    (Prelude.Table.to_string
+       (run_rollout ctx ~steps:(t2_steps ctx) ~dsts_mode:`All));
+  Buffer.add_string buf "\nSection 5.2.4 - securing only the non-stubs:\n";
+  Buffer.add_string buf
+    (Prelude.Table.to_string
+       (run_rollout ctx
+          ~steps:[ dep_step "non-stubs" (Deployment.non_stubs ctx.graph ctx.tiers) ]
+          ~dsts_mode:`All));
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(* Small shared helpers for experiment modules. *)
+
+let pct = Prelude.Stats.percent
+
+let pct_bounds (b : Metric.H_metric.bounds) =
+  Printf.sprintf "[%s, %s]" (pct b.Metric.H_metric.lb) (pct b.Metric.H_metric.ub)
+
+(* Render a metric improvement: the change in the pessimistic world and
+   in the optimistic world. *)
+let pct_delta (b : Metric.H_metric.bounds) =
+  Printf.sprintf "%+.1f%% / %+.1f%%" (100. *. b.Metric.H_metric.lb)
+    (100. *. b.Metric.H_metric.ub)
+
+(* Average partition fractions over a set of attacker-destination pairs. *)
+let partition_fractions g policy pairs =
+  let total =
+    Array.fold_left
+      (fun acc { Metric.H_metric.attacker; dst } ->
+        Metric.Partition.add acc
+          (Metric.Partition.count g policy ~attacker ~dst))
+      Metric.Partition.zero pairs
+  in
+  Metric.Partition.fractions total
+
+let partition_fractions_among g policy pairs ~sources =
+  let total =
+    Array.fold_left
+      (fun acc { Metric.H_metric.attacker; dst } ->
+        Metric.Partition.add acc
+          (Metric.Partition.count_among g policy ~attacker ~dst ~sources))
+      Metric.Partition.zero pairs
+  in
+  Metric.Partition.fractions total
+
+(* H over pairs, and the improvement over the empty deployment. *)
+let h g policy dep pairs = Metric.H_metric.h_metric g policy dep pairs
+
+let delta_h g policy dep pairs =
+  let base = h g policy (Deployment.empty (Topology.Graph.n g)) pairs in
+  let with_s = h g policy dep pairs in
+  (base, with_s, Metric.H_metric.bounds_improvement with_s base)
+
+let header title paper =
+  Printf.sprintf "=== %s ===\n(paper: %s)\n" title paper
+
+(* Per-destination metric change, for the Figure 9/10/12 sequences. *)
+let per_destination_changes g policy dep ~attackers ~dsts =
+  Array.map
+    (fun dst ->
+      let base =
+        Metric.H_metric.h_metric_per_dst g policy
+          (Deployment.empty (Topology.Graph.n g))
+          ~attackers ~dst
+      in
+      let with_s = Metric.H_metric.h_metric_per_dst g policy dep ~attackers ~dst in
+      (dst, Metric.H_metric.bounds_improvement with_s base))
+    dsts

@@ -1,0 +1,51 @@
+(** Shared helpers for experiment modules: formatting, partition
+    aggregation, and metric deltas. *)
+
+val pct : float -> string
+
+val pct_bounds : Metric.H_metric.bounds -> string
+(** Render an interval ["[lb, ub]"]. *)
+
+val pct_delta : Metric.H_metric.bounds -> string
+(** Render a metric improvement as the change in the pessimistic and the
+    optimistic tiebreak worlds: ["+x% / +y%"]. *)
+
+val partition_fractions :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Metric.H_metric.pair array ->
+  float * float * float
+(** Average (doomed, protectable, immune) fractions over the pairs. *)
+
+val partition_fractions_among :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Metric.H_metric.pair array ->
+  sources:int array ->
+  float * float * float
+
+val h :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  Metric.H_metric.pair array ->
+  Metric.H_metric.bounds
+
+val delta_h :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  Metric.H_metric.pair array ->
+  Metric.H_metric.bounds * Metric.H_metric.bounds * Metric.H_metric.bounds
+(** (baseline, with deployment, improvement). *)
+
+val header : string -> string -> string
+
+val per_destination_changes :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  attackers:int array ->
+  dsts:int array ->
+  (int * Metric.H_metric.bounds) array
+(** Per-destination metric improvement [H_{M',d}(S) - H_{M',d}({})]. *)

@@ -1,0 +1,114 @@
+type bounds = { lb : float; ub : float }
+
+let bounds_add a b = { lb = a.lb +. b.lb; ub = a.ub +. b.ub }
+let bounds_sub a b = { lb = a.lb -. b.ub; ub = a.ub -. b.lb }
+let bounds_improvement after before =
+  { lb = after.lb -. before.lb; ub = after.ub -. before.ub }
+let bounds_scale k b = { lb = k *. b.lb; ub = k *. b.ub }
+
+let pp_bounds b =
+  if abs_float (b.ub -. b.lb) < 5e-4 then Printf.sprintf "%.1f%%" (100. *. b.lb)
+  else Printf.sprintf "[%.1f%%, %.1f%%]" (100. *. b.lb) (100. *. b.ub)
+
+type counts = { happy_lb : int; happy_ub : int; sources : int }
+
+let is_source outcome v =
+  v <> Routing.Outcome.dst outcome
+  && Routing.Outcome.attacker outcome <> Some v
+
+let happy outcome =
+  let n = Routing.Outcome.n outcome in
+  let lb = ref 0 and ub = ref 0 and sources = ref 0 in
+  for v = 0 to n - 1 do
+    if is_source outcome v then begin
+      incr sources;
+      if Routing.Outcome.happy_lb outcome v then incr lb;
+      if Routing.Outcome.happy_ub outcome v then incr ub
+    end
+  done;
+  { happy_lb = !lb; happy_ub = !ub; sources = !sources }
+
+let happy_among outcome set =
+  let lb = ref 0 and ub = ref 0 and sources = ref 0 in
+  Array.iter
+    (fun v ->
+      if is_source outcome v then begin
+        incr sources;
+        if Routing.Outcome.happy_lb outcome v then incr lb;
+        if Routing.Outcome.happy_ub outcome v then incr ub
+      end)
+    set;
+  { happy_lb = !lb; happy_ub = !ub; sources = !sources }
+
+let to_bounds c =
+  {
+    lb = Prelude.Stats.fraction c.happy_lb c.sources;
+    ub = Prelude.Stats.fraction c.happy_ub c.sources;
+  }
+
+type pair = { attacker : int; dst : int }
+
+let pairs ?rng ?max_pairs ~attackers ~dsts () =
+  let all = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun m ->
+      Array.iter
+        (fun d ->
+          if m <> d then begin
+            all := { attacker = m; dst = d } :: !all;
+            incr count
+          end)
+        dsts)
+    attackers;
+  let all = Array.of_list !all in
+  match max_pairs with
+  | Some k when Array.length all > k -> (
+      match rng with
+      | None -> invalid_arg "Metric.pairs: sampling requires ~rng"
+      | Some rng ->
+          let idx = Rng.sample_without_replacement rng k (Array.length all) in
+          Array.map (fun i -> all.(i)) idx)
+  | _ ->
+      (* Deterministic order for reproducibility. *)
+      Array.sort compare all;
+      all
+
+let pair_bounds g policy dep { attacker; dst } =
+  let outcome =
+    Routing.Engine.compute g policy dep ~dst ~attacker:(Some attacker)
+  in
+  to_bounds (happy outcome)
+
+let h_metric ?progress ?(domains = 1) g policy dep pairs =
+  let total = Array.length pairs in
+  if total = 0 then { lb = 0.; ub = 0. }
+  else begin
+    let per_pair =
+      if domains > 1 then
+        Parallel.map ~domains (pair_bounds g policy dep) pairs
+      else
+        Array.mapi
+          (fun i p ->
+            let b = pair_bounds g policy dep p in
+            (match progress with Some f -> f (i + 1) total | None -> ());
+            b)
+          pairs
+    in
+    let lb = ref 0. and ub = ref 0. in
+    Array.iter
+      (fun b ->
+        lb := !lb +. b.lb;
+        ub := !ub +. b.ub)
+      per_pair;
+    { lb = !lb /. float_of_int total; ub = !ub /. float_of_int total }
+  end
+
+let h_metric_per_dst g policy dep ~attackers ~dst =
+  let ps =
+    Array.to_list attackers
+    |> List.filter_map (fun m ->
+           if m = dst then None else Some { attacker = m; dst })
+    |> Array.of_list
+  in
+  h_metric g policy dep ps

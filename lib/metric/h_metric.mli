@@ -1,0 +1,72 @@
+(** The security metric of Section 4.1.
+
+    [H_{M,D}(S)] is the average, over attackers [m] in [M] and destinations
+    [d] in [D], of the fraction of source ASes that choose a legitimate
+    route to [d] rather than a bogus route through [m].  Because the
+    tiebreak step is intradomain and unknown, every quantity comes as a
+    lower and an upper bound (Section 4.1): the lower bound assumes an AS
+    facing equally-good legitimate and bogus routes picks the bogus one,
+    the upper bound the opposite. *)
+
+type bounds = { lb : float; ub : float }
+
+val bounds_add : bounds -> bounds -> bounds
+val bounds_sub : bounds -> bounds -> bounds
+(** Worst-case interval difference:
+    [{ lb = a.lb -. b.ub; ub = a.ub -. b.lb }]. *)
+
+val bounds_improvement : bounds -> bounds -> bounds
+(** [bounds_improvement after before] compares like with like — the
+    pessimistic-tiebreak worlds and the optimistic-tiebreak worlds:
+    [{ lb = after.lb -. before.lb; ub = after.ub -. before.ub }].  This is
+    how the paper's Figures 7-12 report changes in the metric. *)
+
+val bounds_scale : float -> bounds -> bounds
+val pp_bounds : bounds -> string
+
+type counts = { happy_lb : int; happy_ub : int; sources : int }
+
+val happy : Routing.Outcome.t -> counts
+(** Happy-source counts over all sources (every AS except the destination
+    and the attacker). *)
+
+val happy_among : Routing.Outcome.t -> int array -> counts
+(** Restrict the sources to the given set (the destination and attacker
+    are skipped if present). *)
+
+val to_bounds : counts -> bounds
+
+type pair = { attacker : int; dst : int }
+
+val pairs :
+  ?rng:Rng.t ->
+  ?max_pairs:int ->
+  attackers:int array ->
+  dsts:int array ->
+  unit ->
+  pair array
+(** The full cross product [attackers x dsts] minus the diagonal, or a
+    uniform sample of [max_pairs] of them when the product exceeds
+    [max_pairs] ([rng] required in that case). *)
+
+val h_metric :
+  ?progress:(int -> int -> unit) ->
+  ?domains:int ->
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  pair array ->
+  bounds
+(** [H_{M,D}(S)] estimated over the given attacker-destination pairs.
+    [domains > 1] fans the pairs out over that many OCaml domains (the
+    pairs are independent and the graph is read-only); [progress] is only
+    invoked in the sequential case. *)
+
+val h_metric_per_dst :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  attackers:int array ->
+  dst:int ->
+  bounds
+(** [H_{M,d}(S)] for a single destination. *)

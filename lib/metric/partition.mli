@@ -1,0 +1,74 @@
+(** The doomed / protectable / immune partition of Section 4.3 and
+    Appendix E.
+
+    For an attacker-destination pair [(m, d)] and a routing model, every
+    source AS falls into one of:
+
+    - {b doomed}: routes through [m] no matter which ASes deploy S*BGP;
+    - {b immune}: routes to [d] no matter which ASes deploy S*BGP;
+    - {b protectable}: the outcome depends on the deployment;
+    - {b unreachable}: no perceivable route to either — it can never be
+      happy, so it counts with the doomed when bounding the metric.  (The
+      paper's graphs are connected enough that this class is empty; it can
+      appear in small synthetic graphs.)
+
+    Method per model:
+    - security 3rd: Corollary E.1 — the stable route's class and length
+      are deployment-invariant, so the endpoints of the baseline (S = {})
+      best-route set decide the class.  This also holds for the LPk
+      policy variants (the rank prefix above security is
+      deployment-invariant).
+    - security 2nd: Corollary E.2 — the stable route's {e local-preference
+      class} is deployment-invariant; the AS is classified by which
+      endpoints its class-restricted perceivable routes can reach.  For
+      LPk policies the classes are length-refined, which we resolve over
+      the class-respecting candidate structure (each AS only ever holds
+      and exports routes of its own deployment-invariant class bucket).
+      Note that under security 2nd, [Protectable] is an
+      over-approximation — inherited from the paper's method: a
+      class-compatible perceivable route to the destination may pass
+      through an AS that never {e chooses} the needed suffix (e.g. a
+      transit AS whose customer-class route is always the bogus one), so
+      some "protectable" ASes are de-facto doomed.  [Doomed] and
+      [Immune] are exact, so the Figure-3 bounds derived from them
+      remain valid; our exhaustive tests quantify over every deployment
+      on small graphs to check exactly this.
+    - security 1st: Observations E.3/E.4 exactly — doomed iff no
+      perceivable route to [d] avoids [m]; immune iff no perceivable route
+      to [m] avoids [d].  (The paper approximates "everything is
+      protectable"; the exact computation differs by a negligible
+      fraction, which our reproduction reports.) *)
+
+type cls = Doomed | Protectable | Immune | Unreachable
+
+type counts = {
+  doomed : int;
+  protectable : int;
+  immune : int;
+  unreachable : int;
+  sources : int;
+}
+
+val zero : counts
+val add : counts -> counts -> counts
+
+val fractions : counts -> float * float * float
+(** (doomed+unreachable, protectable, immune) as fractions of sources. *)
+
+val compute :
+  Topology.Graph.t -> Routing.Policy.t -> attacker:int -> dst:int -> cls array
+(** Per-source classification; the attacker's and destination's own slots
+    are [Unreachable] and must be ignored by callers.  LPk policies under
+    security 2nd require an acyclic customer-provider hierarchy and raise
+    [Failure] otherwise. *)
+
+val count :
+  Topology.Graph.t -> Routing.Policy.t -> attacker:int -> dst:int -> counts
+
+val count_among :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  attacker:int ->
+  dst:int ->
+  sources:int array ->
+  counts

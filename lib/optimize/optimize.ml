@@ -1,0 +1,131 @@
+let happy_with g policy dep ~attacker ~dst =
+  let outcome =
+    Routing.Engine.compute g policy dep ~dst ~attacker:(Some attacker)
+  in
+  (Metric.H_metric.happy outcome).happy_lb
+
+(* Enumerate k-subsets of [candidates], invoking [f] on each (as a list). *)
+let iter_subsets candidates k f =
+  let n = Array.length candidates in
+  let rec go start chosen remaining =
+    if remaining = 0 then f (List.rev chosen)
+    else
+      for i = start to n - remaining do
+        go (i + 1) (candidates.(i) :: chosen) (remaining - 1)
+      done
+  in
+  if k >= 0 && k <= n then go 0 [] k
+
+let deployment_of g chosen =
+  Deployment.make ~n:(Topology.Graph.n g) ~full:(Array.of_list chosen) ()
+
+let greedy g policy ~attacker ~dst ~k ~candidates =
+  let chosen = ref [] in
+  let best_count = ref (happy_with g policy (deployment_of g []) ~attacker ~dst) in
+  for _ = 1 to k do
+    let best_cand = ref None in
+    Array.iter
+      (fun c ->
+        if not (List.mem c !chosen) then begin
+          let count =
+            happy_with g policy (deployment_of g (c :: !chosen)) ~attacker ~dst
+          in
+          match !best_cand with
+          | Some (_, b) when count <= b -> ()
+          | _ -> best_cand := Some (c, count)
+        end)
+      candidates;
+    match !best_cand with
+    | Some (c, count) ->
+        chosen := c :: !chosen;
+        best_count := count
+    | None -> ()
+  done;
+  (Array.of_list (List.rev !chosen), !best_count)
+
+let exhaustive g policy ~attacker ~dst ~k ~candidates =
+  let best = ref ([||], -1) in
+  iter_subsets candidates k (fun subset ->
+      let count = happy_with g policy (deployment_of g subset) ~attacker ~dst in
+      if count > snd !best then best := (Array.of_list subset, count));
+  if snd !best < 0 then
+    ([||], happy_with g policy (deployment_of g []) ~attacker ~dst)
+  else !best
+
+module Set_cover = struct
+  type instance = { universe : int; sets : int list array }
+
+  type built = {
+    graph : Topology.Graph.t;
+    dst : int;
+    attacker : int;
+    element_as : int array;
+    set_as : int array;
+  }
+
+  let build inst =
+    let w = Array.length inst.sets in
+    (* Ids: dst = 0, attacker = 1, elements 2 .. universe+1, sets after.
+       The attacker gets a lower id than any element's other neighbors so
+       that deterministic lowest-next-hop tiebreaks also prefer it, as the
+       reduction requires (our lower-bound semantics requires nothing). *)
+    let dst = 0 and attacker = 1 in
+    let element_as = Array.init inst.universe (fun i -> 2 + i) in
+    let set_as = Array.init w (fun j -> 2 + inst.universe + j) in
+    let edges = ref [] in
+    (* The destination is a customer of every set AS. *)
+    Array.iter
+      (fun s -> edges := Topology.Graph.Customer_provider (dst, s) :: !edges)
+      set_as;
+    (* The attacker is a customer of every element AS. *)
+    Array.iter
+      (fun e ->
+        edges := Topology.Graph.Customer_provider (attacker, e) :: !edges)
+      element_as;
+    (* Element i is a provider of set j iff i is in set j. *)
+    Array.iteri
+      (fun j elems ->
+        List.iter
+          (fun i ->
+            edges :=
+              Topology.Graph.Customer_provider (set_as.(j), element_as.(i))
+              :: !edges)
+          elems)
+      inst.sets;
+    let graph = Topology.Graph.of_edges ~n:(2 + inst.universe + w) !edges in
+    { graph; dst; attacker; element_as; set_as }
+
+  let cover_exists inst ~gamma =
+    let w = Array.length inst.sets in
+    let found = ref false in
+    iter_subsets (Array.init w (fun j -> j)) gamma (fun subset ->
+        if not !found then begin
+          let covered = Array.make inst.universe false in
+          List.iter
+            (fun j -> List.iter (fun i -> covered.(i) <- true) inst.sets.(j))
+            subset;
+          if Array.for_all (fun c -> c) covered then found := true
+        end);
+    !found
+
+  let security_achievable built ~gamma =
+    let policy = Routing.Policy.make Routing.Policy.Security_third in
+    let all_sources =
+      Topology.Graph.n built.graph - 2 (* everyone but dst and attacker *)
+    in
+    let found = ref false in
+    iter_subsets built.set_as gamma (fun subset ->
+        if not !found then begin
+          let full =
+            Array.concat
+              [ [| built.dst |]; built.element_as; Array.of_list subset ]
+          in
+          let dep = Deployment.make ~n:(Topology.Graph.n built.graph) ~full () in
+          let happy =
+            happy_with built.graph policy dep ~attacker:built.attacker
+              ~dst:built.dst
+          in
+          if happy = all_sources then found := true
+        end);
+    !found
+end

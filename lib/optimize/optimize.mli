@@ -1,0 +1,71 @@
+(** Max-k-Security (Section 5.1, Theorem 5.1, Appendix I).
+
+    Given an attacker-destination pair, choose [k] ASes to secure so as to
+    maximize the number of (definitely) happy sources.  The problem is
+    NP-hard in all three routing models, so we provide a greedy heuristic
+    and an exhaustive solver for small instances, plus the set-cover
+    reduction of Appendix I as an executable construction. *)
+
+val happy_with :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  attacker:int ->
+  dst:int ->
+  int
+(** Number of definitely-happy sources (lower-bound semantics, matching
+    the reduction's requirement that tied ASes prefer the attacker). *)
+
+val greedy :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  attacker:int ->
+  dst:int ->
+  k:int ->
+  candidates:int array ->
+  int array * int
+(** [greedy g policy ~attacker ~dst ~k ~candidates] adds, [k] times, the
+    candidate whose securing most increases the happy count (first-found
+    on ties; candidates already chosen are skipped).  Returns the chosen
+    set and the resulting happy count. *)
+
+val exhaustive :
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  attacker:int ->
+  dst:int ->
+  k:int ->
+  candidates:int array ->
+  int array * int
+(** Optimal solution by enumerating all k-subsets of [candidates]; only
+    for small instances. *)
+
+(** The reduction from Set Cover (Appendix I, Figure 18). *)
+module Set_cover : sig
+  type instance = { universe : int; sets : int list array }
+  (** Elements are [0 .. universe-1]; [sets.(j)] lists the elements of
+      subset j. *)
+
+  type built = {
+    graph : Topology.Graph.t;
+    dst : int;
+    attacker : int;
+    element_as : int array;  (** AS id of each element *)
+    set_as : int array;      (** AS id of each subset *)
+  }
+
+  val build : instance -> built
+  (** The gadget: the destination is a customer of every set-AS, the
+      attacker a customer of every element-AS, and element-AS [i] a
+      provider of set-AS [j] iff element [i] belongs to subset [j]. *)
+
+  val cover_exists : instance -> gamma:int -> bool
+  (** Brute-force set cover decision (small instances only). *)
+
+  val security_achievable : built -> gamma:int -> bool
+  (** Does securing the destination, all element ASes, and [gamma] set
+      ASes make {e every} source happy?  (Equivalent to the
+      Dk-l-Security instance of Theorem I.1.)  Enumerates the gamma-subsets
+      of set ASes; model-agnostic per the theorem, computed under
+      security 3rd. *)
+end

@@ -1,0 +1,35 @@
+let default_domains () =
+  match Sys.getenv_opt "SBGP_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> v
+      | _ -> invalid_arg "SBGP_DOMAINS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+let map ?domains f items =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let n = Array.length items in
+  if domains <= 1 || n <= 1 then Array.map f items
+  else begin
+    let workers = min domains n in
+    let chunk = (n + workers - 1) / workers in
+    let results = Array.make n None in
+    let run lo hi () =
+      for i = lo to hi - 1 do
+        results.(i) <- Some (f items.(i))
+      done
+    in
+    let handles =
+      List.init workers (fun w ->
+          let lo = w * chunk in
+          let hi = min n (lo + chunk) in
+          if lo < hi then Some (Domain.spawn (run lo hi)) else None)
+    in
+    List.iter (function Some h -> Domain.join h | None -> ()) handles;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map_reduce ?domains ~map:f ~combine neutral items =
+  Array.fold_left combine neutral (map ?domains f items)

@@ -1,0 +1,22 @@
+(** Multicore fan-out over independent work items.
+
+    The paper parallelized its simulations over destinations with MPI on
+    BlueGene/Blacklight (Appendix H); we use OCaml 5 domains.  Work items
+    must be independent and the worker function must not share mutable
+    state across items (each of our routing computations allocates its own
+    state, and reads the topology immutably). *)
+
+val default_domains : unit -> int
+(** [SBGP_DOMAINS] from the environment if set, otherwise the runtime's
+    recommended domain count. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f items] applies [f] to every item, splitting the array into
+    contiguous chunks across domains.  With [domains <= 1] this is a plain
+    sequential map (no domains are spawned).  The first worker exception,
+    if any, is re-raised. *)
+
+val map_reduce :
+  ?domains:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+(** Fold the mapped results with [combine] (applied in deterministic
+    left-to-right chunk order, seeded with the given neutral element). *)

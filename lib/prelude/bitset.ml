@@ -1,0 +1,57 @@
+type t = { bits : Bytes.t; n : int; mutable card : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let bit = 1 lsl (i land 7) in
+  if byte land bit = 0 then begin
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte lor bit));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+  let bit = 1 lsl (i land 7) in
+  if byte land bit <> 0 then begin
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte land lnot bit));
+    t.card <- t.card - 1
+  end
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.card <- 0
+
+let cardinal t = t.card
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n items =
+  let t = create n in
+  List.iter (add t) items;
+  t
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n; card = t.card }

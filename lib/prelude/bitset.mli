@@ -1,0 +1,23 @@
+(** Compact fixed-capacity set of small non-negative integers. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over the universe [0 .. n-1]. *)
+
+val length : t -> int
+(** Universe size. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+
+val cardinal : t -> int
+(** Number of members; O(1). *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val copy : t -> t

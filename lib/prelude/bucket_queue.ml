@@ -1,0 +1,46 @@
+type t = {
+  buckets : int list array;
+  mutable cursor : int; (* no bucket below [cursor] is non-empty *)
+  mutable size : int;
+}
+
+let create ~max_rank =
+  if max_rank <= 0 then invalid_arg "Bucket_queue.create: max_rank <= 0";
+  { buckets = Array.make max_rank []; cursor = 0; size = 0 }
+
+let push q ~rank item =
+  if rank < q.cursor then
+    invalid_arg
+      (Printf.sprintf "Bucket_queue.push: rank %d below cursor %d" rank
+         q.cursor);
+  if rank >= Array.length q.buckets then
+    invalid_arg
+      (Printf.sprintf "Bucket_queue.push: rank %d >= max_rank %d" rank
+         (Array.length q.buckets));
+  q.buckets.(rank) <- item :: q.buckets.(rank);
+  q.size <- q.size + 1
+
+let is_empty q = q.size = 0
+
+let rec pop q =
+  if q.size = 0 then None
+  else
+    match q.buckets.(q.cursor) with
+    | [] ->
+        q.cursor <- q.cursor + 1;
+        pop q
+    | item :: rest ->
+        q.buckets.(q.cursor) <- rest;
+        q.size <- q.size - 1;
+        Some (q.cursor, item)
+
+let clear q =
+  (* Only the buckets at or above the cursor can be non-empty, but a reused
+     queue may have been cleared before reaching the end; wipe everything
+     that could hold stale items. *)
+  if q.size > 0 then
+    for i = q.cursor to Array.length q.buckets - 1 do
+      q.buckets.(i) <- []
+    done;
+  q.cursor <- 0;
+  q.size <- 0

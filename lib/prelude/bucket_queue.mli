@@ -1,0 +1,28 @@
+(** Monotone integer-priority queue over integer items.
+
+    Priorities ("ranks") are non-negative integers bounded by [max_rank]
+    (exclusive).  The queue is {e monotone}: once a rank [r] has been popped,
+    pushing an item with rank [< r] raises [Invalid_argument].  This matches
+    label-setting (Dijkstra-style) computations in which every relaxation
+    strictly increases the rank, and allows O(1) amortized push/pop using a
+    bucket array with a never-decreasing cursor. *)
+
+type t
+
+val create : max_rank:int -> t
+(** [create ~max_rank] is an empty queue accepting ranks in
+    [0 .. max_rank - 1]. *)
+
+val push : t -> rank:int -> int -> unit
+(** [push q ~rank item] inserts [item] with priority [rank].  Stale
+    duplicates of the same item are allowed; callers using lazy deletion
+    must skip already-settled items when popping. *)
+
+val pop : t -> (int * int) option
+(** [pop q] removes and returns [(rank, item)] with the smallest rank, or
+    [None] if the queue is empty. *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** [clear q] empties the queue and resets the cursor, allowing reuse. *)

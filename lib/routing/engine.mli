@@ -1,0 +1,49 @@
+(** Stable-state computation for routing with partially deployed S*BGP in
+    the presence of the "m d" attack of Section 3.1.
+
+    This is the generalized form of the multi-stage BFS of Appendix B:
+    a label-setting (Dijkstra-style) computation over the dense preference
+    ranks of {!Policy.rank}.  Correctness rests on the ranks being strictly
+    monotone along route extensions — extending a fixed route by one hop
+    always yields a strictly worse rank, for every model and LP variant —
+    so fixing ASes in rank order reproduces exactly the stable state that
+    the staged algorithm (and, by the paper's Lemmas B.2-B.15, the S*BGP
+    convergence process) arrives at.  The agreement with the literal
+    staged algorithm ({!Staged}) and with the dynamic message-passing
+    simulator is property-tested.
+
+    Export policy (Ex): an AS announces a customer route to everyone and
+    any other route to its customers only.  The destination announces its
+    own prefix to everyone; the attacker announces the bogus route "m d"
+    to all its neighbors via legacy BGP. *)
+
+type tiebreak =
+  | Bounds
+      (** Leave TB unresolved: track every equally-best route's endpoint,
+          yielding the lower/upper happiness bounds of Section 4.1. *)
+  | Lowest_next_hop
+      (** Deterministic TB: among equally-best routes keep the one whose
+          next hop has the smallest AS number.  Used for cross-validation
+          with the dynamic simulator. *)
+
+val compute :
+  ?tiebreak:tiebreak ->
+  ?attacker_claim:int ->
+  Topology.Graph.t ->
+  Policy.t ->
+  Deployment.t ->
+  dst:int ->
+  attacker:int option ->
+  Outcome.t
+(** [compute g policy dep ~dst ~attacker] returns the stable routing
+    state toward [dst].  [attacker = None] computes normal conditions.
+    Default tiebreak is [Bounds].
+
+    [attacker_claim] is the length of the bogus path the attacker claims
+    (default 1 — the paper's "m d" announcement).  [0] models an
+    unauthorized origination of the victim's prefix (a classic prefix
+    hijack, only meaningful when origin authentication is absent); larger
+    values model longer fabricated paths "m x .. d".
+
+    Raises [Invalid_argument] if [attacker = Some dst], ids are out of
+    range, or [attacker_claim < 0]. *)

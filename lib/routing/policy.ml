@@ -1,0 +1,129 @@
+type model = Security_first | Security_second | Security_third
+type lp = Standard | Lp_k of int
+type t = { model : model; lp : lp }
+
+let make ?(lp = Standard) model =
+  (match lp with
+  | Lp_k k when k < 1 -> invalid_arg "Policy.make: Lp_k requires k >= 1"
+  | Lp_k _ | Standard -> ());
+  { model; lp }
+
+let all_models = [ Security_first; Security_second; Security_third ]
+
+let model_name = function
+  | Security_first -> "security 1st"
+  | Security_second -> "security 2nd"
+  | Security_third -> "security 3rd"
+
+let lp_name = function
+  | Standard -> "LP"
+  | Lp_k k -> Printf.sprintf "LP%d" k
+
+let name t =
+  match t.lp with
+  | Standard -> model_name t.model
+  | Lp_k _ -> Printf.sprintf "%s/%s" (model_name t.model) (lp_name t.lp)
+
+type route_class = Customer | Peer | Provider
+
+let class_name = function
+  | Customer -> "customer"
+  | Peer -> "peer"
+  | Provider -> "provider"
+
+(* Ordinal of the local-preference class of a route.  For [Lp_k k] the
+   classes are, in preference order: C1, P1, C2, P2, ..., Ck, Pk, C>k,
+   P>k, Provider. *)
+let lp_class t cls len =
+  match t.lp with
+  | Standard -> ( match cls with Customer -> 0 | Peer -> 1 | Provider -> 2)
+  | Lp_k k -> (
+      match cls with
+      | Customer -> if len <= k then 2 * (len - 1) else 2 * k
+      | Peer -> if len <= k then (2 * (len - 1)) + 1 else (2 * k) + 1
+      | Provider -> (2 * k) + 2)
+
+let compare_routes t (c1, l1, s1) (c2, l2, s2) =
+  (* Each step compares "smaller is preferred"; secure routes first. *)
+  let sec s = if s then 0 else 1 in
+  let lp r = lp_class t (match r with c, _, _ -> c) (match r with _, l, _ -> l) in
+  let keys (c, l, s) =
+    match t.model with
+    | Security_first -> (sec s, lp (c, l, s), l)
+    | Security_second -> (lp (c, l, s), sec s, l)
+    | Security_third -> (lp (c, l, s), l, sec s)
+  in
+  compare (keys (c1, l1, s1)) (keys (c2, l2, s2))
+
+(* Dense rank encodings.  Each is order-isomorphic to [compare_routes];
+   see the property tests in test/test_routing.ml.
+
+   For [Lp_k] the naive lexicographic encoding (class * 2 * L) explodes
+   when k approaches max_len, so we use dense layouts exploiting that the
+   first 2k classes each admit a single length. *)
+
+let check_len ~max_len len =
+  if len < 1 || len > max_len then
+    invalid_arg (Printf.sprintf "Policy.rank: len %d outside [1, %d]" len max_len)
+
+(* Dense ordinal of (class, len) under the Lp_k class order refined by
+   length — i.e. the (LP, SP) prefix shared by all three models. *)
+let lpk_len_ord ~kk ~max_len cls len =
+  match cls with
+  | Customer when len <= kk -> 2 * (len - 1)
+  | Peer when len <= kk -> (2 * (len - 1)) + 1
+  | Customer -> (2 * kk) + (len - kk - 1)
+  | Peer -> (2 * kk) + (max_len - kk) + (len - kk - 1)
+  | Provider -> (2 * kk) + (2 * (max_len - kk)) + len
+
+let lpk_len_ord_bound ~kk ~max_len =
+  (2 * kk) + (2 * (max_len - kk)) + max_len + 1
+
+let rank t ~max_len cls ~len ~secure =
+  check_len ~max_len len;
+  let s = if secure then 0 else 1 in
+  let lbase = max_len + 1 in
+  match t.lp with
+  | Standard -> (
+      let c = match cls with Customer -> 0 | Peer -> 1 | Provider -> 2 in
+      match t.model with
+      | Security_first -> ((((s * 3) + c) * lbase) + len)
+      | Security_second -> ((((c * 2) + s) * lbase) + len)
+      | Security_third -> ((((c * lbase) + len) * 2) + s))
+  | Lp_k k -> (
+      let kk = min k max_len in
+      match t.model with
+      | Security_first ->
+          let z = lpk_len_ord_bound ~kk ~max_len in
+          (s * z) + lpk_len_ord ~kk ~max_len cls len
+      | Security_third -> (2 * lpk_len_ord ~kk ~max_len cls len) + s
+      | Security_second -> (
+          (* Fixed-length classes first (two ranks each: secure then
+             insecure), then C>k, P>k, Provider blocks laid out as
+             (secure?, len). *)
+          let cc = lp_class t cls len in
+          if cc < 2 * kk then (cc * 2) + s
+          else begin
+            let block =
+              match cls with
+              | Customer -> 0
+              | Peer -> 1
+              | Provider -> 2
+            in
+            (4 * kk) + (block * 2 * lbase) + (s * lbase) + len
+          end))
+
+let max_rank t ~max_len =
+  let lbase = max_len + 1 in
+  match t.lp with
+  | Standard -> (
+      match t.model with
+      | Security_first | Security_second -> 6 * lbase
+      | Security_third -> ((((2 * lbase) + max_len) * 2) + 1) + 1)
+  | Lp_k k -> (
+      let kk = min k max_len in
+      let z = lpk_len_ord_bound ~kk ~max_len in
+      match t.model with
+      | Security_first -> 2 * z
+      | Security_third -> 2 * z
+      | Security_second -> (4 * kk) + (6 * lbase))

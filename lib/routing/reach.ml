@@ -1,0 +1,70 @@
+type t = {
+  customer_set : Prelude.Bitset.t;
+  peer_set : Prelude.Bitset.t;
+  provider_set : Prelude.Bitset.t;
+  root : int;
+}
+
+let compute g ~root ?(avoid = -1) () =
+  let n = Topology.Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Reach.compute: root out of range";
+  if root = avoid then invalid_arg "Reach.compute: root = avoid";
+  let customer_set = Prelude.Bitset.create n in
+  let peer_set = Prelude.Bitset.create n in
+  let provider_set = Prelude.Bitset.create n in
+  let ok v = v <> avoid && v <> root in
+  (* Customer routes: climb customer-to-provider edges from the root. *)
+  let queue = Queue.create () in
+  let push_customer v =
+    if ok v && not (Prelude.Bitset.mem customer_set v) then begin
+      Prelude.Bitset.add customer_set v;
+      Queue.add v queue
+    end
+  in
+  Array.iter push_customer (Topology.Graph.providers g root);
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Array.iter push_customer (Topology.Graph.providers g u)
+  done;
+  (* Peer routes: one peer hop off a customer route (or off the root). *)
+  let has_customer_or_root u = u = root || Prelude.Bitset.mem customer_set u in
+  for v = 0 to n - 1 do
+    if ok v
+       && Array.exists has_customer_or_root (Topology.Graph.peers g v)
+    then Prelude.Bitset.add peer_set v
+  done;
+  (* Provider routes: close downward from anything reachable. *)
+  let push_provider v =
+    if ok v && not (Prelude.Bitset.mem provider_set v) then begin
+      Prelude.Bitset.add provider_set v;
+      Queue.add v queue
+    end
+  in
+  let seed u =
+    Array.iter push_provider (Topology.Graph.customers g u)
+  in
+  seed root;
+  Prelude.Bitset.iter seed customer_set;
+  Prelude.Bitset.iter seed peer_set;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    seed u
+  done;
+  { customer_set; peer_set; provider_set; root }
+
+let customer t v = Prelude.Bitset.mem t.customer_set v
+let peer t v = Prelude.Bitset.mem t.peer_set v
+let provider t v = Prelude.Bitset.mem t.provider_set v
+let any t v = customer t v || peer t v || provider t v
+
+let best_class t v =
+  if customer t v then Some Policy.Customer
+  else if peer t v then Some Policy.Peer
+  else if provider t v then Some Policy.Provider
+  else None
+
+let in_class t cls v =
+  match cls with
+  | Policy.Customer -> customer t v
+  | Policy.Peer -> peer t v
+  | Policy.Provider -> provider t v

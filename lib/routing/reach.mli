@@ -1,0 +1,37 @@
+(** Perceivable-route reachability closures (Definition B.1, Appendix E).
+
+    A route is {e perceivable} at an AS if every hop complies with the
+    export policy Ex.  Which ASes have a perceivable customer / peer /
+    provider route to a given root is independent of route selection, so
+    these closures characterize what any deployment could ever offer —
+    the basis of the doomed / protectable / immune partition:
+
+    - customer routes chain through customer-to-provider edges only;
+    - a peer route exists where a peer has a perceivable customer route
+      (or is the root);
+    - provider routes close downward: a provider with any perceivable
+      route offers a provider route to each customer.
+
+    Legitimate routes never transit the attacker and attacked routes never
+    transit the victim (Section 3.1), hence the [avoid] argument. *)
+
+type t
+
+val compute : Topology.Graph.t -> root:int -> ?avoid:int -> unit -> t
+(** Closure of perceivable routes to [root], skipping the AS [avoid]
+    entirely.  The root belongs to none of the three sets. *)
+
+val customer : t -> int -> bool
+(** Has a perceivable customer route to the root. *)
+
+val peer : t -> int -> bool
+val provider : t -> int -> bool
+
+val any : t -> int -> bool
+(** Has any perceivable route to the root. *)
+
+val best_class : t -> int -> Policy.route_class option
+(** Most preferred class (customer > peer > provider) in which the AS has
+    a perceivable route, [None] if unreachable. *)
+
+val in_class : t -> Policy.route_class -> int -> bool

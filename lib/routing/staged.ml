@@ -1,0 +1,151 @@
+(* Executable specification of Appendix B.  See staged.mli. *)
+
+type phase = {
+  cls : Policy.route_class;
+  secure_only : bool; (* FS* variants only consider secure candidates *)
+}
+
+let phases model =
+  let p cls secure_only = { cls; secure_only } in
+  match model with
+  | Policy.Security_third ->
+      [ p Customer false; p Peer false; p Provider false ]
+  | Policy.Security_second ->
+      [
+        p Customer true;
+        p Customer false;
+        p Peer false;
+        p Provider true;
+        p Provider false;
+      ]
+  | Policy.Security_first ->
+      [
+        p Customer true;
+        p Peer true;
+        p Provider true;
+        p Customer false;
+        p Peer false;
+        p Provider false;
+      ]
+
+type cand = {
+  len : int;
+  secure : bool;
+  to_d : bool;
+  to_m : bool;
+  parent : int;
+}
+
+let compute g policy dep ~dst ~attacker =
+  (match (policy : Policy.t).lp with
+  | Standard -> ()
+  | Lp_k _ -> invalid_arg "Staged.compute: only the Standard LP model");
+  let n = Topology.Graph.n g in
+  if dst < 0 || dst >= n then invalid_arg "Staged.compute: dst out of range";
+  (match attacker with
+  | Some m when m < 0 || m >= n || m = dst ->
+      invalid_arg "Staged.compute: bad attacker"
+  | Some _ | None -> ());
+  let outcome = Outcome.create ~n ~dst ~attacker in
+  (* cls codes: 0 customer, 1 peer, 2 provider, 3 root. *)
+  let cls_code = Array.make n (-1) in
+  Outcome.fix_root outcome dst ~len:0
+    ~secure:(Deployment.signs_origin dep dst)
+    ~to_d:true ~to_m:false ~parent:(-1);
+  cls_code.(dst) <- 3;
+  (match attacker with
+  | Some m ->
+      Outcome.fix_root outcome m ~len:1 ~secure:false ~to_d:false ~to_m:true
+        ~parent:dst;
+      cls_code.(m) <- 3
+  | None -> ());
+  (* All candidates of a given class at v, via fixed neighbors whose export
+     policy Ex permits the announcement. *)
+  let candidates v cls =
+    let via_customer_route u =
+      (* u announces to a peer/provider only if its own route is a customer
+         route, or u is the destination / the attacker. *)
+      cls_code.(u) = 0 || cls_code.(u) = 3
+    in
+    let neighbors, export_ok =
+      match cls with
+      | Policy.Customer -> (Topology.Graph.customers g v, via_customer_route)
+      | Policy.Peer -> (Topology.Graph.peers g v, via_customer_route)
+      | Policy.Provider ->
+          (Topology.Graph.providers g v, fun u -> cls_code.(u) >= 0)
+    in
+    Array.to_list neighbors
+    |> List.filter_map (fun u ->
+           if Outcome.is_fixed outcome u && export_ok u then
+             Some
+               {
+                 len = Outcome.length outcome u + 1;
+                 secure = Outcome.secure outcome u && Deployment.is_full dep v;
+                 to_d = Outcome.to_d outcome u;
+                 to_m = Outcome.to_m outcome u;
+                 parent = u;
+               }
+           else None)
+  in
+  (* The BPR set of v restricted to class [cls]: the candidates preferred
+     before the tiebreak step, per the policy's full comparator. *)
+  let bpr v cls pool =
+    ignore v;
+    match pool with
+    | [] -> []
+    | first :: _ ->
+        let key c = (cls, c.len, c.secure) in
+        let best =
+          List.fold_left
+            (fun acc c ->
+              if Policy.compare_routes policy (key c) (key acc) < 0 then c
+              else acc)
+            first pool
+        in
+        List.filter (fun c -> Policy.compare_routes policy (key c) (key best) = 0) pool
+  in
+  let run_phase phase =
+    let continue = ref true in
+    while !continue do
+      (* Find the eligible unfixed AS whose phase-candidate is shortest
+         (ties by AS id), exactly as FCR/FPrvR select "the AS with the
+         shortest customer/provider route". *)
+      let best : (int * int * cand list) option ref = ref None in
+      for v = 0 to n - 1 do
+        if not (Outcome.is_fixed outcome v) then begin
+          let pool = candidates v phase.cls in
+          let pool =
+            if phase.secure_only then List.filter (fun c -> c.secure) pool
+            else pool
+          in
+          match bpr v phase.cls pool with
+          | [] -> ()
+          | (c :: _ as set) -> (
+              match !best with
+              | Some (blen, bv, _) when (c.len, v) >= (blen, bv) -> ()
+              | _ -> best := Some (c.len, v, set))
+        end
+      done;
+      match !best with
+      | None -> continue := false
+      | Some (_, v, set) ->
+          let merged =
+            List.fold_left
+              (fun acc c ->
+                {
+                  acc with
+                  to_d = acc.to_d || c.to_d;
+                  to_m = acc.to_m || c.to_m;
+                  parent = min acc.parent c.parent;
+                })
+              (List.hd set) (List.tl set)
+          in
+          Outcome.fix outcome v ~cls:phase.cls ~len:merged.len
+            ~secure:merged.secure ~to_d:merged.to_d ~to_m:merged.to_m
+            ~parent:merged.parent;
+          cls_code.(v) <-
+            (match phase.cls with Customer -> 0 | Peer -> 1 | Provider -> 2)
+    done
+  in
+  List.iter run_phase (phases (policy : Policy.t).model);
+  outcome

@@ -1,0 +1,165 @@
+type t = {
+  n : int;
+  customers : int array array;
+  providers : int array array;
+  peers : int array array;
+  num_c2p : int;
+  num_p2p : int;
+}
+
+type edge =
+  | Customer_provider of int * int
+  | Peer_peer of int * int
+
+(* Relationship of the pair (a, b) with a < b, from a's point of view. *)
+type rel = A_customer_of_b | B_customer_of_a | Peers
+
+let of_edges ~n edge_list =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: AS %d out of range" v)
+  in
+  let tbl : (int * int, rel) Hashtbl.t = Hashtbl.create (List.length edge_list) in
+  let insert a b rel =
+    check a;
+    check b;
+    if a = b then invalid_arg "Graph.of_edges: self loop";
+    let key, rel = if a < b then ((a, b), rel) else ((b, a), match rel with
+      | A_customer_of_b -> B_customer_of_a
+      | B_customer_of_a -> A_customer_of_b
+      | Peers -> Peers)
+    in
+    match Hashtbl.find_opt tbl key with
+    | None -> Hashtbl.add tbl key rel
+    | Some existing ->
+        if existing <> rel then
+          invalid_arg
+            (Printf.sprintf
+               "Graph.of_edges: conflicting relationships for pair (%d, %d)"
+               (fst key) (snd key))
+  in
+  List.iter
+    (function
+      | Customer_provider (c, p) -> insert c p A_customer_of_b
+      | Peer_peer (a, b) -> insert a b Peers)
+    edge_list;
+  let cust_deg = Array.make n 0 and prov_deg = Array.make n 0 and peer_deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (a, b) rel ->
+      match rel with
+      | A_customer_of_b ->
+          prov_deg.(a) <- prov_deg.(a) + 1;
+          cust_deg.(b) <- cust_deg.(b) + 1
+      | B_customer_of_a ->
+          prov_deg.(b) <- prov_deg.(b) + 1;
+          cust_deg.(a) <- cust_deg.(a) + 1
+      | Peers ->
+          peer_deg.(a) <- peer_deg.(a) + 1;
+          peer_deg.(b) <- peer_deg.(b) + 1)
+    tbl;
+  let customers = Array.init n (fun v -> Array.make cust_deg.(v) 0) in
+  let providers = Array.init n (fun v -> Array.make prov_deg.(v) 0) in
+  let peers = Array.init n (fun v -> Array.make peer_deg.(v) 0) in
+  let ci = Array.make n 0 and pi = Array.make n 0 and ei = Array.make n 0 in
+  let add_cust p c =
+    customers.(p).(ci.(p)) <- c;
+    ci.(p) <- ci.(p) + 1
+  in
+  let add_prov c p =
+    providers.(c).(pi.(c)) <- p;
+    pi.(c) <- pi.(c) + 1
+  in
+  let add_peer a b =
+    peers.(a).(ei.(a)) <- b;
+    ei.(a) <- ei.(a) + 1
+  in
+  let num_c2p = ref 0 and num_p2p = ref 0 in
+  Hashtbl.iter
+    (fun (a, b) rel ->
+      match rel with
+      | A_customer_of_b ->
+          incr num_c2p;
+          add_cust b a;
+          add_prov a b
+      | B_customer_of_a ->
+          incr num_c2p;
+          add_cust a b;
+          add_prov b a
+      | Peers ->
+          incr num_p2p;
+          add_peer a b;
+          add_peer b a)
+    tbl;
+  (* Sort adjacency for determinism (hash iteration order is arbitrary). *)
+  let sort_all arrs = Array.iter (fun a -> Array.sort compare a) arrs in
+  sort_all customers;
+  sort_all providers;
+  sort_all peers;
+  { n; customers; providers; peers; num_c2p = !num_c2p; num_p2p = !num_p2p }
+
+let n g = g.n
+let customers g v = g.customers.(v)
+let providers g v = g.providers.(v)
+let peers g v = g.peers.(v)
+let customer_degree g v = Array.length g.customers.(v)
+let peer_degree g v = Array.length g.peers.(v)
+
+let degree g v =
+  customer_degree g v + peer_degree g v + Array.length g.providers.(v)
+
+let num_customer_provider_edges g = g.num_c2p
+let num_peer_edges g = g.num_p2p
+let is_stub g v = customer_degree g v = 0
+
+let edges g =
+  let acc = ref [] in
+  for v = 0 to g.n - 1 do
+    Array.iter (fun p -> acc := Customer_provider (v, p) :: !acc) g.providers.(v);
+    Array.iter (fun u -> if v < u then acc := Peer_peer (v, u) :: !acc) g.peers.(v)
+  done;
+  !acc
+
+let acyclic_hierarchy g =
+  (* Kahn's algorithm on the customer -> provider digraph. *)
+  let indeg = Array.make g.n 0 in
+  for v = 0 to g.n - 1 do
+    indeg.(v) <- Array.length g.customers.(v)
+  done;
+  let queue = Queue.create () in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    Array.iter
+      (fun p ->
+        indeg.(p) <- indeg.(p) - 1;
+        if indeg.(p) = 0 then Queue.add p queue)
+      g.providers.(v)
+  done;
+  !seen = g.n
+
+let connected g =
+  if g.n <= 1 then true
+  else begin
+    let seen = Prelude.Bitset.create g.n in
+    let queue = Queue.create () in
+    Prelude.Bitset.add seen 0;
+    Queue.add 0 queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      let visit u =
+        if not (Prelude.Bitset.mem seen u) then begin
+          Prelude.Bitset.add seen u;
+          Queue.add u queue
+        end
+      in
+      Array.iter visit g.customers.(v);
+      Array.iter visit g.providers.(v);
+      Array.iter visit g.peers.(v)
+    done;
+    Prelude.Bitset.cardinal seen = g.n
+  end

@@ -1,0 +1,49 @@
+(** AS-level topology: an undirected graph whose edges are annotated with a
+    business relationship, following the classic Gao-Rexford model used by
+    the paper (Section 2.2).
+
+    ASes are dense integer identifiers [0 .. n-1].  An edge is either
+    {e customer-to-provider} (the customer pays the provider) or
+    {e peer-to-peer}. *)
+
+type t
+
+type edge =
+  | Customer_provider of int * int  (** [(c, p)]: [c] is a customer of [p] *)
+  | Peer_peer of int * int
+
+val of_edges : n:int -> edge list -> t
+(** Build a graph over [n] ASes.  Raises [Invalid_argument] on self loops,
+    out-of-range endpoints, or an AS pair appearing with two different
+    relationships.  Duplicate identical edges are collapsed. *)
+
+val n : t -> int
+
+val customers : t -> int -> int array
+(** [customers g v] are the neighbors that are customers of [v].  The
+    returned array is owned by the graph and must not be mutated. *)
+
+val providers : t -> int -> int array
+val peers : t -> int -> int array
+
+val customer_degree : t -> int -> int
+val peer_degree : t -> int -> int
+val degree : t -> int -> int
+
+val num_customer_provider_edges : t -> int
+val num_peer_edges : t -> int
+
+val is_stub : t -> int -> bool
+(** No customers (paper: "Stubs" plus "Stubs-x"). *)
+
+val edges : t -> edge list
+(** Every edge exactly once ([Customer_provider (c, p)] and
+    [Peer_peer (a, b)] with [a < b]). *)
+
+val acyclic_hierarchy : t -> bool
+(** Whether the customer-to-provider digraph is acyclic (the standard
+    sanity condition on annotated AS graphs). *)
+
+val connected : t -> bool
+(** Whether the underlying undirected graph is connected (trivially true
+    for [n <= 1]). *)

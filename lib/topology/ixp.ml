@@ -1,0 +1,46 @@
+type params = { n_ixps : int; mean_members : int; max_members : int }
+
+let default_params = { n_ixps = 40; mean_members = 14; max_members = 120 }
+
+let augment ?(params = default_params) rng g =
+  let n = Graph.n g in
+  if n = 0 then (g, 0)
+  else begin
+    let weights =
+      Array.init n (fun v -> float_of_int (1 + Graph.degree g v))
+    in
+    (* Membership matrix is sparse; remember which pairs we have connected
+       and which were already adjacent. *)
+    let adjacent = Hashtbl.create (4 * n) in
+    let key a b = if a < b then (a, b) else (b, a) in
+    List.iter
+      (fun e ->
+        match e with
+        | Graph.Customer_provider (c, p) -> Hashtbl.replace adjacent (key c p) ()
+        | Graph.Peer_peer (a, b) -> Hashtbl.replace adjacent (key a b) ())
+      (Graph.edges g);
+    let added = ref [] in
+    let n_added = ref 0 in
+    for _ = 1 to params.n_ixps do
+      let size =
+        let s = 2 + Rng.geometric rng ~p:(1. /. float_of_int params.mean_members) in
+        min s params.max_members
+      in
+      let members = Array.make size 0 in
+      for i = 0 to size - 1 do
+        members.(i) <- Rng.weighted_index rng weights
+      done;
+      (* Full mesh among distinct members not already adjacent. *)
+      for i = 0 to size - 1 do
+        for j = i + 1 to size - 1 do
+          let a = members.(i) and b = members.(j) in
+          if a <> b && not (Hashtbl.mem adjacent (key a b)) then begin
+            Hashtbl.replace adjacent (key a b) ();
+            added := Graph.Peer_peer (a, b) :: !added;
+            incr n_added
+          end
+        done
+      done
+    done;
+    (Graph.of_edges ~n (!added @ Graph.edges g), !n_added)
+  end

@@ -1,0 +1,23 @@
+(** Synthetic IXP peering augmentation (paper Section 2.2 / Appendix J).
+
+    The paper augments the UCLA graph with ~553K peer edges obtained by
+    fully meshing the members of 332 IXPs.  We have no IXP membership data,
+    so we synthesize memberships: each IXP draws members with probability
+    proportional to total degree (large transit and content ASes populate
+    exchanges), then members are fully meshed with peer edges, skipping
+    pairs already adjacent.  As in the paper this over-approximates real
+    IXP peering and is used only as a robustness check. *)
+
+type params = {
+  n_ixps : int;           (** number of exchanges *)
+  mean_members : int;     (** mean members per IXP (geometrically distributed) *)
+  max_members : int;      (** cap on a single IXP's size *)
+}
+
+val default_params : params
+(** Scaled-down analog of the paper's 332 IXPs / 10 835 memberships. *)
+
+val augment : ?params:params -> Rng.t -> Graph.t -> Graph.t * int
+(** [augment rng g] returns the augmented graph and the number of peer
+    edges added.  Existing relationships are never altered: member pairs
+    already linked (by any relationship) keep their original edge. *)

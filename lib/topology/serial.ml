@@ -1,0 +1,105 @@
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# n=%d\n" (Graph.n g));
+  List.iter
+    (fun edge ->
+      match edge with
+      | Graph.Customer_provider (c, p) ->
+          Buffer.add_string buf (Printf.sprintf "%d|%d|-1\n" p c)
+      | Graph.Peer_peer (a, b) ->
+          Buffer.add_string buf (Printf.sprintf "%d|%d|0\n" a b))
+    (List.sort compare (Graph.edges g));
+  Buffer.contents buf
+
+(* Parse into raw (provider-ish) triples; relationship "-1" means the
+   first field is the provider of the second, "0" means peering.  Extra
+   fields (CAIDA as-rel2 appends the inference source) are ignored. *)
+let parse s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let triples = ref [] in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      let fail msg = failwith (Printf.sprintf "Serial: line %d: %s" (lineno + 1) msg) in
+      if line = "" then ()
+      else if String.length line > 0 && line.[0] = '#' then begin
+        (* Recognize the "# n=<count>" header if present. *)
+        match String.index_opt line '=' with
+        | Some i when String.length line > 3 && String.sub line 1 2 = " n" -> (
+            match int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) with
+            | Some v -> n := v
+            | None -> ())
+        | _ -> ()
+      end
+      else
+        match String.split_on_char '|' line with
+        | a :: b :: rel :: _ -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> (
+                match String.trim rel with
+                | "-1" -> triples := (a, b, `Provider_of) :: !triples
+                | "0" -> triples := (a, b, `Peer) :: !triples
+                | r -> fail (Printf.sprintf "unknown relationship %S" r))
+            | _ -> fail "non-integer AS id")
+        | _ -> fail "expected <a>|<b>|<rel>")
+    lines;
+  (!n, List.rev !triples)
+
+let edges_of_triples triples =
+  List.map
+    (fun (a, b, rel) ->
+      match rel with
+      | `Provider_of -> Graph.Customer_provider (b, a)
+      | `Peer -> Graph.Peer_peer (a, b))
+    triples
+
+let of_string s =
+  let header_n, triples = parse s in
+  let max_as =
+    List.fold_left (fun acc (a, b, _) -> max acc (max a b)) (-1) triples
+  in
+  let n = if header_n >= 0 then header_n else max_as + 1 in
+  Graph.of_edges ~n (edges_of_triples triples)
+
+let of_string_remapped s =
+  let _, triples = parse s in
+  let table = Hashtbl.create 1024 in
+  let order = ref [] in
+  let intern asn =
+    match Hashtbl.find_opt table asn with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length table in
+        Hashtbl.add table asn id;
+        order := asn :: !order;
+        id
+  in
+  let triples =
+    List.map
+      (fun (a, b, rel) ->
+        (* Explicit lets: ids are assigned in reading order. *)
+        let a' = intern a in
+        let b' = intern b in
+        (a', b', rel))
+      triples
+  in
+  let asns = Array.of_list (List.rev !order) in
+  (Graph.of_edges ~n:(Array.length asns) (edges_of_triples triples), asns)
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len)
+
+let load path = of_string (read_file path)
+let load_remapped path = of_string_remapped (read_file path)

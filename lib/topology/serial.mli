@@ -1,0 +1,23 @@
+(** CAIDA-style textual serialization of annotated AS graphs.
+
+    One edge per line: [<provider>|<customer>|-1] for customer-to-provider
+    edges and [<a>|<b>|0] for peering.  Lines starting with ['#'] are
+    comments.  The header comment records the AS count so that isolated
+    ASes survive a round trip. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** Raises [Failure] with a line-numbered message on malformed input.
+    Lines with extra fields (e.g. CAIDA as-rel2's trailing source column)
+    are accepted; AS ids must be dense in [0, n). *)
+
+val save : string -> Graph.t -> unit
+val load : string -> Graph.t
+
+val of_string_remapped : string -> Graph.t * int array
+(** Like {!of_string}, but accepts arbitrary (sparse) AS numbers — as in
+    real CAIDA relationship files — and maps them onto dense ids.  The
+    returned array gives the original AS number of each dense id. *)
+
+val load_remapped : string -> Graph.t * int array

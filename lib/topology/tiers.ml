@@ -1,0 +1,125 @@
+type tier = T1 | T2 | T3 | Cp | Small_cp | Stub_x | Stub | Smdg
+
+let all_tiers = [ T1; T2; T3; Cp; Small_cp; Stub_x; Stub; Smdg ]
+
+let tier_name = function
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
+  | Cp -> "CP"
+  | Small_cp -> "SMCP"
+  | Stub_x -> "STUB-X"
+  | Stub -> "STUB"
+  | Smdg -> "SMDG"
+
+let tier_index = function
+  | T1 -> 0
+  | T2 -> 1
+  | T3 -> 2
+  | Cp -> 3
+  | Small_cp -> 4
+  | Stub_x -> 5
+  | Stub -> 6
+  | Smdg -> 7
+
+type t = { of_as : tier array; groups : int array array }
+
+let classify ?(n_t1 = 13) ?(n_t2 = 100) ?(n_t3 = 100) ?(n_small_cp = 300)
+    ?(cps = []) g =
+  let n = Graph.n g in
+  let assigned = Array.make n None in
+  let take tier candidates count =
+    let taken = ref 0 in
+    List.iter
+      (fun v ->
+        if !taken < count && assigned.(v) = None then begin
+          assigned.(v) <- Some tier;
+          incr taken
+        end)
+      candidates
+  in
+  (* Sort by descending customer degree, breaking ties by AS id for
+     determinism. *)
+  let by_customer_degree =
+    List.sort
+      (fun a b ->
+        match compare (Graph.customer_degree g b) (Graph.customer_degree g a) with
+        | 0 -> compare a b
+        | c -> c)
+      (List.init n (fun i -> i))
+  in
+  let providerless =
+    List.filter (fun v -> Array.length (Graph.providers g v) = 0) by_customer_degree
+  in
+  take T1 providerless n_t1;
+  List.iter
+    (fun v ->
+      if v >= 0 && v < n && assigned.(v) = None then assigned.(v) <- Some Cp)
+    cps;
+  let with_providers =
+    List.filter (fun v -> Array.length (Graph.providers g v) > 0) by_customer_degree
+  in
+  take T2 with_providers n_t2;
+  take T3 with_providers n_t3;
+  let by_peer_degree =
+    List.sort
+      (fun a b ->
+        match compare (Graph.peer_degree g b) (Graph.peer_degree g a) with
+        | 0 -> compare a b
+        | c -> c)
+      (List.init n (fun i -> i))
+  in
+  (* Small CPs must actually peer; a zero-peer AS is not a "top peering" AS. *)
+  take Small_cp (List.filter (fun v -> Graph.peer_degree g v > 0) by_peer_degree)
+    n_small_cp;
+  for v = 0 to n - 1 do
+    if assigned.(v) = None then
+      if Graph.is_stub g v then
+        assigned.(v) <- Some (if Graph.peer_degree g v > 0 then Stub_x else Stub)
+      else assigned.(v) <- Some Smdg
+  done;
+  let of_as =
+    Array.map (function Some t -> t | None -> assert false) assigned
+  in
+  let buckets = Array.make 8 [] in
+  for v = n - 1 downto 0 do
+    let i = tier_index of_as.(v) in
+    buckets.(i) <- v :: buckets.(i)
+  done;
+  { of_as; groups = Array.map Array.of_list buckets }
+
+let tier_of t v = t.of_as.(v)
+let members t tier = t.groups.(tier_index tier)
+
+let non_stubs t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v tier -> match tier with Stub | Stub_x -> () | _ -> acc := v :: !acc)
+    t.of_as;
+  Array.of_list (List.rev !acc)
+
+let stubs_of g isps =
+  let isp_set = Hashtbl.create (Array.length isps) in
+  Array.iter (fun v -> Hashtbl.replace isp_set v ()) isps;
+  let acc = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if Graph.is_stub g v
+       && Array.exists (fun p -> Hashtbl.mem isp_set p) (Graph.providers g v)
+    then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let summary g t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "ASes: %d, customer-provider edges: %d, peer edges: %d\n"
+       (Graph.n g)
+       (Graph.num_customer_provider_edges g)
+       (Graph.num_peer_edges g));
+  List.iter
+    (fun tier ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-7s %d\n" (tier_name tier)
+           (Array.length (members t tier))))
+    all_tiers;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Classification of ASes into the tiers of the paper's Table 1. *)
+
+type tier =
+  | T1       (** high customer degree, no providers *)
+  | T2       (** top ASes by customer degree, with providers *)
+  | T3       (** next ASes by customer degree, with providers *)
+  | Cp       (** designated content providers *)
+  | Small_cp (** top remaining ASes by peering degree *)
+  | Stub_x   (** no customers, at least one peer *)
+  | Stub     (** no customers, no peers *)
+  | Smdg     (** remaining non-stub ASes *)
+
+val all_tiers : tier list
+val tier_name : tier -> string
+
+type t
+
+val classify :
+  ?n_t1:int ->
+  ?n_t2:int ->
+  ?n_t3:int ->
+  ?n_small_cp:int ->
+  ?cps:int list ->
+  Graph.t ->
+  t
+(** [classify g] assigns each AS to exactly one tier.  Defaults follow
+    Table 1: [n_t1 = 13], [n_t2 = 100], [n_t3 = 100], [n_small_cp = 300],
+    [cps = []].  Precedence: T1, then the explicit CP list, then T2, T3,
+    Small_cp (by peer degree), Stub_x, Stub, Smdg. *)
+
+val tier_of : t -> int -> tier
+val members : t -> tier -> int array
+(** ASes in the given tier, sorted; owned by [t], do not mutate. *)
+
+val non_stubs : t -> int array
+(** All ASes that are not [Stub] and not [Stub_x] — the paper's non-stub
+    attacker set M'. *)
+
+val stubs_of : Graph.t -> int array -> int array
+(** [stubs_of g isps] are the stub ASes having at least one provider in
+    [isps]; used for the "ISPs and their stubs" rollouts of Section 5. *)
+
+val summary : Graph.t -> t -> string
+(** Human-readable per-tier counts. *)

@@ -1,0 +1,176 @@
+(* Dynamic message-passing simulator: equivalence with the static engine,
+   schedule independence (Theorem 2.1), and the BGP Wedgie of Figure 1. *)
+
+open Core
+open Test_helpers
+
+let sec1 = Policy.make Policy.Security_first
+let sec3 = Policy.make Policy.Security_third
+
+(* The dynamic simulator must converge to the stable state the static
+   engine computes, for all models and LP variants, under deterministic
+   lowest-next-hop tiebreaking. *)
+let test_sim_vs_engine =
+  qtest "dynamic simulation = static engine" ~count:150 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:25 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let dst = Rng.int rng n in
+      let m = Rng.int rng n in
+      let attacker = if m = dst then None else Some m in
+      let static =
+        Engine.compute ~tiebreak:Engine.Lowest_next_hop g policy dep ~dst
+          ~attacker
+      in
+      let sim =
+        match attacker with
+        | Some m -> Bgpsim.create g policy dep ~dst ~attacker:m ()
+        | None -> Bgpsim.create g policy dep ~dst ()
+      in
+      let (_ : int) = Bgpsim.run sim in
+      check_none (Policy.name policy)
+        (outcome_mismatch static (Bgpsim.to_outcome sim)))
+
+(* Theorem 2.1: with consistent policies the outcome is independent of the
+   activation schedule. *)
+let test_schedule_independence =
+  qtest "outcome independent of activation schedule" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:20 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let dst = Rng.int rng n in
+      let m = Rng.int rng n in
+      let run schedule =
+        let sim =
+          if m = dst then Bgpsim.create g policy dep ~dst ()
+          else Bgpsim.create g policy dep ~dst ~attacker:m ()
+        in
+        let (_ : int) = Bgpsim.run ?schedule sim in
+        Bgpsim.snapshot sim
+      in
+      let reference = run None in
+      List.for_all
+        (fun s -> run (Some (Rng.create s)) = reference)
+        [ seed + 1; seed + 2; seed + 3 ])
+
+(* Convergence must also hold under attack (cf. [35]); bounded sweeps. *)
+let test_convergence_bounded =
+  qtest "convergence within few sweeps" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:25 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let dst = Rng.int rng n in
+      let sim = Bgpsim.create g policy dep ~dst () in
+      Bgpsim.run ~max_sweeps:100 sim <= 100)
+
+(* Figure 1: the S*BGP Wedgie.  AS 29518 ranks security below LP while AS
+   31283 ranks it 1st.  After a link flap the system settles in a different
+   stable state.  ids: 3=0 (dst), 8928=1, 34226=2, 31283=3, 29518=4,
+   31027=5. *)
+let wedgie_setup () =
+  (* Relationships per the figure: the destination AS 3 has providers
+     31027 and 8928 (arrows point customer -> provider).  34226 is 8928's
+     provider, 31283 is 34226's... in the figure: 3 -> 31027 and
+     3 -> 8928 (customer-to-provider), 8928 -> 34226, 34226 -> 31283,
+     31283 -> 29518, and 29518 -> 31027 ... 29518 peers? The figure shows
+     29518 with customer 31283 and provider/peer 31027.  We encode:
+     dst(0) customer of 31027(5) and of 8928(1); 8928 customer of
+     34226(2); 34226 customer of 31283(3); 31283 customer of 29518(4);
+     29518 customer of 31027(5). *)
+  let g =
+    graph 6 [ c2p 0 5; c2p 0 1; c2p 1 2; c2p 2 3; c2p 3 4; c2p 4 5 ]
+  in
+  (* Everyone secure except AS 8928 (id 1). *)
+  let dep = Deployment.make ~n:6 ~full:[| 0; 2; 3; 4; 5 |] () in
+  (* 29518 (4) places security below LP (security 3rd); 31283 (3) places
+     it 1st; everyone else's placement is irrelevant — use sec3. *)
+  let policy_of v = if v = 3 then sec1 else sec3 in
+  let sim = Bgpsim.create ~policy_of g sec3 dep ~dst:0 () in
+  (g, sim)
+
+let test_wedgie () =
+  let _, sim = wedgie_setup () in
+  (* Reach the intended state: converge with 31283's customer link down,
+     so it locks onto the secure provider path, then restore the link —
+     security-1st 31283 sticks with the secure path. *)
+  Bgpsim.set_link sim 2 3 ~up:false;
+  let (_ : int) = Bgpsim.run sim in
+  Bgpsim.set_link sim 2 3 ~up:true;
+  let (_ : int) = Bgpsim.run sim in
+  (* Intended state: 31283 (3) prefers the secure provider route via
+     29518 (4) -> 31027 (5) -> dst over the insecure customer route via
+     34226 (2): path 4,5,0. *)
+  Alcotest.(check (option (list int)))
+    "31283 uses the secure provider path" (Some [ 4; 5; 0 ])
+    (Bgpsim.chosen_path sim 3);
+  (* Fail the link 31027 - dst and reconverge. *)
+  Bgpsim.set_link sim 5 0 ~up:false;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check (option (list int)))
+    "31283 falls back to the customer path" (Some [ 2; 1; 0 ])
+    (Bgpsim.chosen_path sim 3);
+  (* Restore the link: BGP does NOT return to the intended state — the
+     wedgie.  29518 (4) now prefers its customer route via 31283 (3), and
+     31283's secure provider path no longer exists. *)
+  Bgpsim.set_link sim 5 0 ~up:true;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check (option (list int)))
+    "wedged: 31283 keeps the customer path" (Some [ 2; 1; 0 ])
+    (Bgpsim.chosen_path sim 3);
+  Alcotest.(check (option (list int)))
+    "wedged: 29518 prefers its customer route" (Some [ 3; 2; 1; 0 ])
+    (Bgpsim.chosen_path sim 4)
+
+(* Link failures: withdrawals propagate and the state matches a fresh
+   computation on the pruned graph. *)
+let test_link_failure_equivalence =
+  qtest "link flap converges to the pruned-graph state" ~count:100
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:15 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let dst = Rng.int rng n in
+      let edges = Graph.edges g in
+      let nth = Rng.int rng (List.length edges) in
+      let a, b =
+        match List.nth edges nth with
+        | Graph.Customer_provider (c, p) -> (c, p)
+        | Graph.Peer_peer (x, y) -> (x, y)
+      in
+      let sim = Bgpsim.create g policy dep ~dst () in
+      let (_ : int) = Bgpsim.run sim in
+      Bgpsim.set_link sim a b ~up:false;
+      let (_ : int) = Bgpsim.run sim in
+      (* Fresh graph without that edge. *)
+      let pruned =
+        Graph.of_edges ~n
+          (List.filter
+             (fun e ->
+               match e with
+               | Graph.Customer_provider (c, p) ->
+                   not ((c = a && p = b) || (c = b && p = a))
+               | Graph.Peer_peer (x, y) ->
+                   not ((x = a && y = b) || (x = b && y = a)))
+             edges)
+      in
+      let fresh = Bgpsim.create pruned policy dep ~dst () in
+      let (_ : int) = Bgpsim.run fresh in
+      Bgpsim.snapshot sim = Bgpsim.snapshot fresh)
+
+let () =
+  Alcotest.run "bgpsim"
+    [
+      ( "equivalence",
+        [ test_sim_vs_engine; test_schedule_independence;
+          test_link_failure_equivalence ] );
+      ("convergence", [ test_convergence_bounded ]);
+      ("wedgie", [ Alcotest.test_case "figure 1 wedgie" `Quick test_wedgie ]);
+    ]

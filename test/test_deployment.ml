@@ -1,0 +1,116 @@
+(* Deployment scenarios. *)
+
+open Core
+open Test_helpers
+
+let test_modes () =
+  let d = Deployment.make ~n:5 ~full:[| 1; 3 |] ~simplex:[| 2; 3 |] () in
+  Alcotest.(check bool) "0 off" false (Deployment.signs_origin d 0);
+  Alcotest.(check bool) "1 full" true (Deployment.is_full d 1);
+  Alcotest.(check bool) "2 simplex signs" true (Deployment.signs_origin d 2);
+  Alcotest.(check bool) "2 simplex not full" false (Deployment.is_full d 2);
+  Alcotest.(check bool) "3 full wins over simplex" true (Deployment.is_full d 3);
+  Alcotest.(check int) "count" 3 (Deployment.count_secure d);
+  Alcotest.(check (array int)) "secure list" [| 1; 2; 3 |]
+    (Deployment.secure_list d)
+
+let test_union_subset () =
+  let a = Deployment.make ~n:3 ~full:[| 0 |] ~simplex:[| 1 |] () in
+  let b = Deployment.make ~n:3 ~full:[| 1 |] () in
+  let u = Deployment.union a b in
+  Alcotest.(check bool) "union full at 1" true (Deployment.is_full u 1);
+  Alcotest.(check bool) "a subset of u" true (Deployment.subset a u);
+  Alcotest.(check bool) "u not subset of a" false (Deployment.subset u a);
+  Alcotest.(check bool) "empty subset of all" true
+    (Deployment.subset (Deployment.empty 3) a)
+
+let test_union_size_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Deployment.union: size mismatch") (fun () ->
+      ignore (Deployment.union (Deployment.empty 2) (Deployment.empty 3)))
+
+(* A small graph with clear tiers for scenario tests:
+   0,1 = T1 (clique); 2,3 = T2; 4 = CP; 5..8 stubs. *)
+let scenario_graph () =
+  graph 9
+    [
+      p2p 0 1;
+      c2p 2 0;
+      c2p 2 1;
+      c2p 3 0;
+      c2p 3 1;
+      c2p 4 2;
+      p2p 4 3;
+      c2p 5 2 (* stub of T2 2 *);
+      c2p 6 3 (* stub of T2 3 *);
+      c2p 7 0 (* T1 stub *);
+      c2p 8 2;
+      c2p 8 3 (* multihomed stub *);
+    ]
+
+let scenario_tiers g = Tiers.classify ~n_t1:2 ~n_t2:2 ~n_t3:0 ~n_small_cp:0 ~cps:[ 4 ] g
+
+let test_isps_and_stubs () =
+  let g = scenario_graph () in
+  let tiers = scenario_tiers g in
+  let d = Deployment.isps_and_stubs g tiers ~isps:[| 2 |] in
+  Alcotest.(check bool) "ISP 2 full" true (Deployment.is_full d 2);
+  Alcotest.(check bool) "stub 5 full" true (Deployment.is_full d 5);
+  Alcotest.(check bool) "stub 8 full (one provider suffices)" true
+    (Deployment.is_full d 8);
+  Alcotest.(check bool) "stub 6 off" false (Deployment.signs_origin d 6);
+  let simplex =
+    Deployment.isps_and_stubs ~stub_mode:Deployment.Simplex g tiers
+      ~isps:[| 2 |]
+  in
+  Alcotest.(check bool) "stub simplex" true (Deployment.signs_origin simplex 5);
+  Alcotest.(check bool) "stub simplex not full" false (Deployment.is_full simplex 5)
+
+let test_tier_scenarios () =
+  let g = scenario_graph () in
+  let tiers = scenario_tiers g in
+  let d = Deployment.tier1_tier2 g tiers ~n_t1:2 ~n_t2:2 in
+  (* All T1s, T2s, and their stubs. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Printf.sprintf "AS %d secure" v) true
+        (Deployment.is_full d v))
+    [ 0; 1; 2; 3; 5; 6; 7; 8 ];
+  Alcotest.(check bool) "CP not secure" false (Deployment.signs_origin d 4);
+  let with_cp = Deployment.with_cps g tiers d in
+  Alcotest.(check bool) "CP secure after with_cps" true
+    (Deployment.is_full with_cp 4);
+  let t2only = Deployment.tier2_only g tiers ~n_t2:1 in
+  (* Largest T2 by customer degree: AS 2 has customers 4,5,8 (3) vs AS 3
+     has 6,8 (2): AS 2 wins. *)
+  Alcotest.(check bool) "T2 rollout secures 2" true (Deployment.is_full t2only 2);
+  Alcotest.(check bool) "T2 rollout skips 3" false
+    (Deployment.signs_origin t2only 3);
+  let ns = Deployment.non_stubs g tiers in
+  Alcotest.(check bool) "non-stub CP secure" true (Deployment.is_full ns 4);
+  Alcotest.(check bool) "stub 5 not secure" false (Deployment.signs_origin ns 5);
+  let t1s = Deployment.tier1_and_stubs g tiers in
+  Alcotest.(check bool) "T1 stub secure" true (Deployment.is_full t1s 7);
+  Alcotest.(check bool) "T2 not secure" false (Deployment.signs_origin t1s 2)
+
+let test_describe () =
+  let d = Deployment.make ~n:4 ~full:[| 0 |] ~simplex:[| 1 |] () in
+  Alcotest.(check string) "describe" "2/4 ASes secure (1 full, 1 simplex)"
+    (Deployment.describe d)
+
+let () =
+  Alcotest.run "deployment"
+    [
+      ( "modes",
+        [
+          Alcotest.test_case "modes" `Quick test_modes;
+          Alcotest.test_case "union/subset" `Quick test_union_subset;
+          Alcotest.test_case "size mismatch" `Quick test_union_size_mismatch;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "scenarios",
+        [
+          Alcotest.test_case "isps_and_stubs" `Quick test_isps_and_stubs;
+          Alcotest.test_case "tier scenarios" `Quick test_tier_scenarios;
+        ] );
+    ]

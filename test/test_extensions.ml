@@ -1,0 +1,117 @@
+(* The Section-8 extensions: attack activation, hysteresis, islands. *)
+
+open Core
+open Test_helpers
+
+let sec2 = Policy.make Policy.Security_second
+let sec3 = Policy.make Policy.Security_third
+
+(* Figure 2 graph (see test_routing.ml). *)
+let fig2 () =
+  ( graph 6 [ c2p 1 0; p2p 1 2; p2p 2 0; c2p 3 2; c2p 4 3; c2p 5 0 ],
+    Deployment.make ~n:6 ~full:[| 0; 1; 5 |] () )
+
+let test_set_attack () =
+  let g, dep = fig2 () in
+  let sim = Bgpsim.create g sec2 dep ~dst:0 ~attacker:4 () in
+  Bgpsim.set_attack sim ~active:false;
+  let (_ : int) = Bgpsim.run sim in
+  (* With the attack silenced, nobody routes to the attacker and the
+     webhost keeps its secure route. *)
+  Alcotest.(check bool) "webhost secure pre-attack" true (Bgpsim.route_secure sim 1);
+  Alcotest.(check bool) "3491 has no route pre-attack" true
+    (Bgpsim.chosen_path sim 3 <> None);
+  Bgpsim.set_attack sim ~active:true;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check bool) "webhost downgraded once attack starts" false
+    (Bgpsim.route_secure sim 1);
+  Alcotest.(check bool) "webhost routes through the attacker" true
+    (Bgpsim.uses_attacker sim 1);
+  (* Silencing the attack restores the original state. *)
+  Bgpsim.set_attack sim ~active:false;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check bool) "recovery after withdrawal" true
+    (Bgpsim.route_secure sim 1)
+
+let test_set_attack_requires_attacker () =
+  let g, dep = fig2 () in
+  let sim = Bgpsim.create g sec2 dep ~dst:0 () in
+  Alcotest.check_raises "no attacker"
+    (Invalid_argument "Bgpsim.set_attack: no attacker configured") (fun () ->
+      Bgpsim.set_attack sim ~active:false)
+
+let test_hysteresis_blocks_downgrade () =
+  let g, dep = fig2 () in
+  let sim = Bgpsim.create ~hysteresis:true g sec2 dep ~dst:0 ~attacker:4 () in
+  Bgpsim.set_attack sim ~active:false;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check bool) "secure route established" true (Bgpsim.route_secure sim 1);
+  Bgpsim.set_attack sim ~active:true;
+  let (_ : int) = Bgpsim.run sim in
+  (* The webhost's decision process prefers the bogus peer route, but
+     hysteresis holds the valid secure route. *)
+  Alcotest.(check bool) "hysteresis keeps the secure route" true
+    (Bgpsim.route_secure sim 1);
+  Alcotest.(check bool) "webhost stays happy" false (Bgpsim.uses_attacker sim 1);
+  (* Insecure ASes are not protected: Cogent still falls. *)
+  Alcotest.(check bool) "Cogent still doomed" true (Bgpsim.uses_attacker sim 2)
+
+let test_hysteresis_releases_withdrawn_route () =
+  (* d=0 <- a=1 (chain), plus a's peer m side... if the secure route is
+     withdrawn (link down), hysteresis must not pin a ghost route. *)
+  let g = graph 4 [ c2p 0 1; c2p 1 2; c2p 3 2 ] in
+  (* 0 <- 1 <- 2, and 3 is a customer of 2. *)
+  let dep = Deployment.make ~n:4 ~full:[| 0; 1; 2 |] () in
+  let sim = Bgpsim.create ~hysteresis:true g sec3 dep ~dst:0 () in
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check bool) "2 secure via 1" true (Bgpsim.route_secure sim 2);
+  Bgpsim.set_link sim 0 1 ~up:false;
+  let (_ : int) = Bgpsim.run sim in
+  Alcotest.(check (option (list int))) "route gone after withdrawal" None
+    (Bgpsim.chosen_path sim 2)
+
+(* Hysteresis can only help: against an established state, every AS that
+   kept a secure route without hysteresis also keeps one with it. *)
+let test_hysteresis_monotone =
+  qtest "hysteresis never loses secure routes" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:20 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if dst = m then true
+      else begin
+        let run hysteresis =
+          let sim = Bgpsim.create ~hysteresis g sec3 dep ~dst ~attacker:m () in
+          Bgpsim.set_attack sim ~active:false;
+          ignore (Bgpsim.run sim);
+          Bgpsim.set_attack sim ~active:true;
+          ignore (Bgpsim.run sim);
+          Array.init n (fun v -> Bgpsim.route_secure sim v)
+        in
+        let plain = run false and hyst = run true in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          if plain.(v) && not hyst.(v) then ok := false
+        done;
+        !ok
+      end)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "attack activation",
+        [
+          Alcotest.test_case "set_attack lifecycle" `Quick test_set_attack;
+          Alcotest.test_case "requires attacker" `Quick
+            test_set_attack_requires_attacker;
+        ] );
+      ( "hysteresis",
+        [
+          Alcotest.test_case "blocks the Figure-2 downgrade" `Quick
+            test_hysteresis_blocks_downgrade;
+          Alcotest.test_case "releases withdrawn routes" `Quick
+            test_hysteresis_releases_withdrawn_route;
+          test_hysteresis_monotone;
+        ] );
+    ]

@@ -1,0 +1,313 @@
+(* The H metric and the doomed/protectable/immune partitions. *)
+
+open Core
+open Test_helpers
+
+let sec1 = Policy.make Policy.Security_first
+let sec2 = Policy.make Policy.Security_second
+let sec3 = Policy.make Policy.Security_third
+
+let test_bounds_arith () =
+  let a = { Metric.lb = 0.4; ub = 0.6 } and b = { Metric.lb = 0.1; ub = 0.2 } in
+  let s = Metric.bounds_sub a b in
+  Alcotest.(check (float 1e-9)) "sub lb" 0.2 s.Metric.lb;
+  Alcotest.(check (float 1e-9)) "sub ub" 0.5 s.Metric.ub;
+  let t = Metric.bounds_add a b in
+  Alcotest.(check (float 1e-9)) "add lb" 0.5 t.Metric.lb;
+  let h = Metric.bounds_scale 2. b in
+  Alcotest.(check (float 1e-9)) "scale" 0.4 h.Metric.ub
+
+let test_happy_counts () =
+  (* Figure 2 graph, security 3rd, S = {}: sources 1,2,3,5; under attack
+     by 4: AS 3 is on the attack path (doomed), 2 doomed, 1 doomed
+     (4-hop peer beats nothing else... 1's options: provider route len 1
+     vs peer route len 4: LP prefers peer!  So 1 unhappy), 5 happy. *)
+  let g =
+    graph 6 [ c2p 1 0; p2p 1 2; p2p 2 0; c2p 3 2; c2p 4 3; c2p 5 0 ]
+  in
+  let out = Engine.compute g sec3 (Deployment.empty 6) ~dst:0 ~attacker:(Some 4) in
+  let c = Metric.happy out in
+  Alcotest.(check int) "sources" 4 c.Metric.sources;
+  Alcotest.(check int) "happy lb" 1 c.Metric.happy_lb;
+  Alcotest.(check int) "happy ub" 1 c.Metric.happy_ub
+
+let test_pairs () =
+  let ps = Metric.pairs ~attackers:[| 0; 1 |] ~dsts:[| 0; 2 |] () in
+  Alcotest.(check int) "diagonal removed" 3 (Array.length ps);
+  let rng = Rng.create 1 in
+  let sampled =
+    Metric.pairs ~rng ~max_pairs:2 ~attackers:[| 0; 1; 2 |] ~dsts:[| 3; 4; 5 |] ()
+  in
+  Alcotest.(check int) "sampled size" 2 (Array.length sampled)
+
+let test_pairs_requires_rng () =
+  Alcotest.check_raises "no rng" (Invalid_argument "Metric.pairs: sampling requires ~rng")
+    (fun () ->
+      ignore (Metric.pairs ~max_pairs:1 ~attackers:[| 0; 1 |] ~dsts:[| 2 |] ()))
+
+let test_lb_below_ub =
+  qtest "metric lower bound <= upper bound" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let attackers = Rng.sample_without_replacement rng (min 3 n) n in
+      let dsts = Rng.sample_without_replacement rng (min 3 n) n in
+      let ps = Metric.pairs ~attackers ~dsts () in
+      if Array.length ps = 0 then true
+      else begin
+        let b = Metric.h_metric g policy dep ps in
+        b.Metric.lb <= b.Metric.ub +. 1e-9
+      end)
+
+(* The baseline metric H(emptyset) is model-independent: with no secure
+   AS, the SecP step never fires. *)
+let test_baseline_model_independent =
+  qtest "baseline metric is model independent" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dep = Deployment.empty n in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let out p = Engine.compute g p dep ~dst ~attacker:(Some m) in
+        let h p = Metric.happy (out p) in
+        h sec1 = h sec2 && h sec2 = h sec3
+      end)
+
+(* Partition soundness: immune ASes are happy and doomed ASes unhappy in
+   EVERY deployment (spot-checked with random deployments). *)
+let test_partition_soundness =
+  qtest "immune always happy, doomed never happy" ~count:150 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:25 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let policy =
+          match Rng.int rng 4 with
+          | 0 -> sec1
+          | 1 -> sec2
+          | 2 -> sec3
+          | _ -> Policy.make ~lp:(Policy.Lp_k (1 + Rng.int rng 3))
+                   (match Rng.int rng 2 with
+                   | 0 -> Policy.Security_second
+                   | _ -> Policy.Security_third)
+        in
+        let classes = Partition.compute g policy ~attacker:m ~dst in
+        let ok = ref true in
+        for _ = 1 to 4 do
+          let dep = random_deployment rng n in
+          let out = Engine.compute g policy dep ~dst ~attacker:(Some m) in
+          for v = 0 to n - 1 do
+            if v <> dst && v <> m then begin
+              match classes.(v) with
+              | Partition.Immune ->
+                  if not (Outcome.happy_lb out v) then begin
+                    Printf.eprintf "seed %d: immune %d unhappy (%s)\n%!" seed v
+                      (Policy.name policy);
+                    ok := false
+                  end
+              | Partition.Doomed ->
+                  if Outcome.happy_ub out v then begin
+                    Printf.eprintf "seed %d: doomed %d happy (%s)\n%!" seed v
+                      (Policy.name policy);
+                    ok := false
+                  end
+              | Partition.Unreachable ->
+                  if Outcome.reached out v then begin
+                    Printf.eprintf "seed %d: unreachable %d reached (%s)\n%!"
+                      seed v (Policy.name policy);
+                    ok := false
+                  end
+              | Partition.Protectable -> ()
+            end
+          done
+        done;
+        !ok
+      end)
+
+(* Counting consistency. *)
+let test_partition_counts =
+  qtest "partition counts sum to sources" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let c = Partition.count g sec2 ~attacker:m ~dst in
+        c.Partition.sources = n - 2
+        && c.Partition.doomed + c.Partition.protectable + c.Partition.immune
+           + c.Partition.unreachable
+           = c.Partition.sources
+      end)
+
+(* Protectable ASes really are protectable in the security 1st model:
+   securing everything makes every non-doomed, reachable AS happy. *)
+let test_protectable_sec1 =
+  qtest "sec1: full deployment rescues all protectable ASes" ~count:150
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:25 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let classes = Partition.compute g sec1 ~attacker:m ~dst in
+        let full =
+          Deployment.of_modes (Array.make n Deployment.Full)
+        in
+        let out = Engine.compute g sec1 full ~dst ~attacker:(Some m) in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          if v <> dst && v <> m then
+            match classes.(v) with
+            | Partition.Protectable | Partition.Immune ->
+                if not (Outcome.happy_lb out v) then ok := false
+            | Partition.Doomed | Partition.Unreachable -> ()
+        done;
+        !ok
+      end)
+
+(* Partition fractions feed the Figure 3 bounds: upper bound on H(S) =
+   1 - doomed fraction; the metric for random S must respect it. *)
+let test_partition_bounds_metric =
+  qtest "H(S) within partition-derived bounds" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:25 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let policy = List.nth [ sec1; sec2; sec3 ] (Rng.int rng 3) in
+        let c = Partition.count g policy ~attacker:m ~dst in
+        let doomed_frac, _, immune_frac = Partition.fractions c in
+        let dep = random_deployment rng n in
+        let out = Engine.compute g policy dep ~dst ~attacker:(Some m) in
+        let h = Metric.to_bounds (Metric.happy out) in
+        h.Metric.ub <= 1. -. doomed_frac +. 1e-9
+        && h.Metric.lb >= immune_frac -. 1e-9
+      end)
+
+let test_h_metric_per_dst () =
+  let g = graph 3 [ c2p 1 0; c2p 2 1 ] in
+  let b =
+    Metric.h_metric_per_dst g sec3 (Deployment.empty 3) ~attackers:[| 2; 0 |]
+      ~dst:0
+  in
+  (* Only attacker 2 counts (0 = dst skipped).  Source AS 1: legit
+     provider route len 1 vs bogus customer route len 2 via its customer
+     2: LP prefers customer: unhappy. *)
+  Alcotest.(check (float 1e-9)) "lb" 0.0 b.Metric.lb;
+  Alcotest.(check (float 1e-9)) "ub" 0.0 b.Metric.ub
+
+(* The decisive partition test: on tiny graphs, enumerate EVERY full/off
+   deployment and check that the partition quantifies correctly over all
+   of them — immune ASes are happy in every deployment, doomed in none,
+   and protectable ASes see both outcomes (in bounds semantics, counting
+   an AS as happy when some tiebreak makes it so). *)
+let test_partition_exhaustive =
+  qtest "partition = quantification over all deployments" ~count:60
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:9 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let policy =
+          match Rng.int rng 4 with
+          | 0 -> sec1
+          | 1 -> sec2
+          | 2 -> sec3
+          | _ ->
+              Policy.make
+                ~lp:(Policy.Lp_k (1 + Rng.int rng 2))
+                (if Rng.bool rng then Policy.Security_second
+                 else Policy.Security_third)
+        in
+        let classes = Partition.compute g policy ~attacker:m ~dst in
+        (* ever_happy / ever_unhappy per source, over all 2^n secure
+           sets. *)
+        let ever_happy = Array.make n false in
+        let ever_unhappy = Array.make n false in
+        for mask = 0 to (1 lsl n) - 1 do
+          let modes =
+            Array.init n (fun v ->
+                if mask land (1 lsl v) <> 0 then Deployment.Full
+                else Deployment.Off)
+          in
+          let dep = Deployment.of_modes modes in
+          let out = Engine.compute g policy dep ~dst ~attacker:(Some m) in
+          for v = 0 to n - 1 do
+            if v <> dst && v <> m then begin
+              (* Bounds semantics: happy if some tiebreak reaches d,
+                 unhappy if some tiebreak reaches m (or no route). *)
+              if Outcome.happy_ub out v then ever_happy.(v) <- true;
+              if not (Outcome.happy_lb out v) then ever_unhappy.(v) <- true
+            end
+          done
+        done;
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          if v <> dst && v <> m then begin
+            let fine =
+              match classes.(v) with
+              | Partition.Immune -> not ever_unhappy.(v)
+              | Partition.Doomed -> not ever_happy.(v)
+              | Partition.Protectable -> (
+                  (* Under security 2nd, "protectable" is an
+                     over-approximation (see Partition's documentation):
+                     a class-compatible perceivable route may never be
+                     chosen upstream.  Under 1st and 3rd the partition is
+                     exact, so a protectable AS must be rescuable. *)
+                  match (policy : Policy.t).model with
+                  | Policy.Security_second -> true
+                  | Policy.Security_first | Policy.Security_third ->
+                      ever_happy.(v))
+              | Partition.Unreachable ->
+                  (not ever_happy.(v)) && ever_unhappy.(v)
+            in
+            if not fine then begin
+              Printf.eprintf
+                "seed %d: AS %d classified %s but ever_happy=%b ever_unhappy=%b (%s)\n%!"
+                seed v
+                (match classes.(v) with
+                | Partition.Immune -> "immune"
+                | Partition.Doomed -> "doomed"
+                | Partition.Protectable -> "protectable"
+                | Partition.Unreachable -> "unreachable")
+                ever_happy.(v) ever_unhappy.(v) (Policy.name policy);
+              ok := false
+            end
+          end
+        done;
+        !ok
+      end)
+
+let () =
+  Alcotest.run "metric"
+    [
+      ( "h metric",
+        [
+          Alcotest.test_case "bounds arithmetic" `Quick test_bounds_arith;
+          Alcotest.test_case "happy counts" `Quick test_happy_counts;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "pairs requires rng" `Quick test_pairs_requires_rng;
+          Alcotest.test_case "per-destination metric" `Quick test_h_metric_per_dst;
+          test_lb_below_ub;
+          test_baseline_model_independent;
+        ] );
+      ( "partitions",
+        [
+          test_partition_soundness;
+          test_partition_exhaustive;
+          test_partition_counts;
+          test_protectable_sec1;
+          test_partition_bounds_metric;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Max-k-Security: greedy vs exhaustive, and the Theorem 5.1 / Appendix I
+   set-cover reduction. *)
+
+open Core
+open Test_helpers
+
+let sec3 = Policy.make Policy.Security_third
+
+let test_greedy_le_exhaustive =
+  qtest "greedy never beats exhaustive" ~count:40 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:12 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let candidates =
+          Array.of_list
+            (List.filter (fun v -> v <> m) (List.init n (fun i -> i)))
+        in
+        let k = 1 + Rng.int rng 2 in
+        let _, greedy_count =
+          Optimize.greedy g sec3 ~attacker:m ~dst ~k ~candidates
+        in
+        let _, best_count =
+          Optimize.exhaustive g sec3 ~attacker:m ~dst ~k ~candidates
+        in
+        greedy_count <= best_count
+      end)
+
+let test_securing_helps =
+  qtest "exhaustive never hurts (sec3 monotone)" ~count:40 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:12 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let base =
+          Optimize.happy_with g sec3 (Deployment.empty n) ~attacker:m ~dst
+        in
+        let candidates = [| dst |] in
+        let _, best =
+          Optimize.exhaustive g sec3 ~attacker:m ~dst ~k:1 ~candidates
+        in
+        best >= base
+      end)
+
+(* The reduction on a hand instance: universe {0,1,2}, sets {0,1}, {1,2},
+   {2}.  A 2-cover exists ({0,1},{2}); no 1-cover does. *)
+let test_reduction_hand () =
+  let inst =
+    { Optimize.Set_cover.universe = 3; sets = [| [ 0; 1 ]; [ 1; 2 ]; [ 2 ] |] }
+  in
+  let built = Optimize.Set_cover.build inst in
+  Alcotest.(check bool) "graph acyclic" true
+    (Graph.acyclic_hierarchy built.Optimize.Set_cover.graph);
+  Alcotest.(check bool) "2-cover exists" true
+    (Optimize.Set_cover.cover_exists inst ~gamma:2);
+  Alcotest.(check bool) "no 1-cover" false
+    (Optimize.Set_cover.cover_exists inst ~gamma:1);
+  Alcotest.(check bool) "2-security achievable" true
+    (Optimize.Set_cover.security_achievable built ~gamma:2);
+  Alcotest.(check bool) "1-security not achievable" false
+    (Optimize.Set_cover.security_achievable built ~gamma:1)
+
+(* Theorem I.1's equivalence on random instances: a gamma-cover exists iff
+   securing d, the elements, and gamma set-ASes makes everyone happy. *)
+let test_reduction_equivalence =
+  qtest "set-cover <=> max-k-security (Theorem 5.1)" ~count:60 (fun seed ->
+      let rng = Rng.create seed in
+      let universe = 2 + Rng.int rng 3 in
+      let w = 2 + Rng.int rng 3 in
+      let sets =
+        Array.init w (fun _ ->
+            List.filter (fun _ -> Rng.bool rng) (List.init universe Fun.id))
+      in
+      (* Ensure every element appears somewhere, else no cover can exist
+         and the equivalence is trivially about unreachability. *)
+      let sets =
+        Array.mapi
+          (fun j s -> if j < universe then List.sort_uniq compare (j :: s) else s)
+          sets
+      in
+      let inst = { Optimize.Set_cover.universe; sets } in
+      let built = Optimize.Set_cover.build inst in
+      List.for_all
+        (fun gamma ->
+          Optimize.Set_cover.cover_exists inst ~gamma
+          = Optimize.Set_cover.security_achievable built ~gamma)
+        [ 1; 2; universe ])
+
+(* In the reduction, an element AS is happy iff some secured set-AS covers
+   it. *)
+let test_reduction_element_semantics () =
+  let inst =
+    { Optimize.Set_cover.universe = 2; sets = [| [ 0 ]; [ 1 ] |] }
+  in
+  let built = Optimize.Set_cover.build inst in
+  let g = built.Optimize.Set_cover.graph in
+  let n = Graph.n g in
+  (* Secure d, all elements, and set-AS 0 only. *)
+  let full =
+    Array.concat
+      [
+        [| built.Optimize.Set_cover.dst |];
+        built.Optimize.Set_cover.element_as;
+        [| built.Optimize.Set_cover.set_as.(0) |];
+      ]
+  in
+  let dep = Deployment.make ~n ~full () in
+  let out =
+    Engine.compute g sec3 dep ~dst:built.Optimize.Set_cover.dst
+      ~attacker:(Some built.Optimize.Set_cover.attacker)
+  in
+  Alcotest.(check bool) "covered element happy" true
+    (Outcome.happy_lb out built.Optimize.Set_cover.element_as.(0));
+  Alcotest.(check bool) "uncovered element unhappy" false
+    (Outcome.happy_lb out built.Optimize.Set_cover.element_as.(1));
+  (* Set ASes are immune regardless. *)
+  Array.iter
+    (fun s -> Alcotest.(check bool) "set AS happy" true (Outcome.happy_lb out s))
+    built.Optimize.Set_cover.set_as
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "heuristics",
+        [ test_greedy_le_exhaustive; test_securing_helps ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "hand instance" `Quick test_reduction_hand;
+          test_reduction_equivalence;
+          Alcotest.test_case "element semantics" `Quick
+            test_reduction_element_semantics;
+        ] );
+    ]

@@ -1,0 +1,65 @@
+(* Domain-based parallel map. *)
+
+open Core
+
+let test_map_matches_sequential () =
+  let items = Array.init 1000 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        (Array.map f items)
+        (Parallel.map ~domains f items))
+    [ 1; 2; 3; 7 ]
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parallel.map ~domains:4 (fun x -> x) [||])
+
+let test_map_single () =
+  Alcotest.(check (array int)) "singleton" [| 42 |]
+    (Parallel.map ~domains:4 (fun x -> x + 41) [| 1 |])
+
+let test_map_reduce () =
+  let items = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "sum 1..100" 5050
+    (Parallel.map_reduce ~domains:3 ~map:Fun.id ~combine:( + ) 0 items)
+
+let test_parallel_metric_agrees () =
+  (* h_metric with domains must equal the sequential result exactly. *)
+  let r = Topogen.generate ~params:(Topogen.default_params ~n:1200) (Rng.create 4) in
+  let g = r.Topogen.graph in
+  let rng = Rng.create 5 in
+  let n = Graph.n g in
+  let attackers = Rng.sample_without_replacement rng 6 n in
+  let dsts = Rng.sample_without_replacement rng 6 n in
+  let pairs = Metric.pairs ~attackers ~dsts () in
+  let policy = Policy.make Policy.Security_second in
+  let dep = Deployment.empty n in
+  let seq = Metric.h_metric g policy dep pairs in
+  let par = Metric.h_metric ~domains:3 g policy dep pairs in
+  Alcotest.(check (float 1e-12)) "lb" seq.Metric.lb par.Metric.lb;
+  Alcotest.(check (float 1e-12)) "ub" seq.Metric.ub par.Metric.ub
+
+let test_default_domains () =
+  Alcotest.(check bool) "positive" true (Parallel.default_domains () >= 1)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_map_matches_sequential;
+          Alcotest.test_case "empty" `Quick test_map_empty;
+          Alcotest.test_case "single" `Quick test_map_single;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+        ] );
+      ( "metric",
+        [
+          Alcotest.test_case "parallel metric agrees" `Quick
+            test_parallel_metric_agrees;
+        ] );
+    ]

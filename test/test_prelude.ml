@@ -1,0 +1,174 @@
+(* Prelude data structures: bucket queue, bitset, stats, table. *)
+
+open Core
+
+let test_bucket_queue_order () =
+  let q = Bucket_queue.create ~max_rank:100 in
+  List.iter
+    (fun (r, v) -> Bucket_queue.push q ~rank:r v)
+    [ (5, 50); (1, 10); (7, 70); (1, 11); (3, 30) ];
+  let popped = ref [] in
+  let rec drain () =
+    match Bucket_queue.pop q with
+    | None -> ()
+    | Some (r, v) ->
+        popped := (r, v) :: !popped;
+        drain ()
+  in
+  drain ();
+  let ranks = List.rev_map fst !popped in
+  Alcotest.(check (list int)) "ranks ascending" [ 1; 1; 3; 5; 7 ] ranks;
+  Alcotest.(check bool) "empty after drain" true (Bucket_queue.is_empty q)
+
+let test_bucket_queue_monotone () =
+  let q = Bucket_queue.create ~max_rank:10 in
+  Bucket_queue.push q ~rank:5 1;
+  let (_ : (int * int) option) = Bucket_queue.pop q in
+  Alcotest.check_raises "pushing below cursor"
+    (Invalid_argument "Bucket_queue.push: rank 3 below cursor 5") (fun () ->
+      Bucket_queue.push q ~rank:3 2)
+
+let test_bucket_queue_bounds () =
+  let q = Bucket_queue.create ~max_rank:4 in
+  Alcotest.check_raises "rank too large"
+    (Invalid_argument "Bucket_queue.push: rank 4 >= max_rank 4") (fun () ->
+      Bucket_queue.push q ~rank:4 0)
+
+let test_bucket_queue_clear () =
+  let q = Bucket_queue.create ~max_rank:10 in
+  Bucket_queue.push q ~rank:9 1;
+  let (_ : (int * int) option) = Bucket_queue.pop q in
+  Bucket_queue.clear q;
+  (* After clear the cursor resets; low ranks are accepted again. *)
+  Bucket_queue.push q ~rank:0 7;
+  Alcotest.(check (option (pair int int))) "pops the new item" (Some (0, 7))
+    (Bucket_queue.pop q)
+
+let test_bucket_queue_vs_sort =
+  Test_helpers.qtest "bucket queue pops in sorted order" ~count:200
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 100 in
+      let items = Array.init n (fun i -> (Rng.int rng 50, i)) in
+      let q = Bucket_queue.create ~max_rank:50 in
+      Array.iter (fun (r, v) -> Bucket_queue.push q ~rank:r v) items;
+      let out = ref [] in
+      let rec drain () =
+        match Bucket_queue.pop q with
+        | None -> ()
+        | Some rv ->
+            out := rv :: !out;
+            drain ()
+      in
+      drain ();
+      let got = List.rev_map fst !out in
+      let expected = Array.to_list (Array.map fst items) in
+      got = List.sort compare expected)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 62" false (Bitset.mem s 62);
+  Bitset.remove s 63;
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 64; 99 ] (Bitset.to_list s);
+  Bitset.clear s;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal s)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 8 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Bitset: index out of bounds") (fun () -> Bitset.add s 8)
+
+let test_bitset_vs_reference =
+  Test_helpers.qtest "bitset agrees with list-set reference" ~count:200
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 200 in
+      let s = Bitset.create n in
+      let reference = Hashtbl.create 16 in
+      for _ = 1 to 300 do
+        let v = Rng.int rng n in
+        if Rng.bool rng then begin
+          Bitset.add s v;
+          Hashtbl.replace reference v ()
+        end
+        else begin
+          Bitset.remove s v;
+          Hashtbl.remove reference v
+        end
+      done;
+      Bitset.cardinal s = Hashtbl.length reference
+      && List.for_all (fun v -> Hashtbl.mem reference v) (Bitset.to_list s))
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0. (Stats.mean [||]);
+  Alcotest.(check (float 1e-9)) "median" 2.5
+    (Stats.quantile [| 1.; 2.; 3.; 4. |] 0.5);
+  Alcotest.(check (float 1e-9)) "q0" 1. (Stats.quantile [| 3.; 1.; 2. |] 0.);
+  Alcotest.(check (float 1e-9)) "q1" 3. (Stats.quantile [| 3.; 1.; 2. |] 1.);
+  Alcotest.(check (float 1e-9)) "fraction" 0.25 (Stats.fraction 1 4);
+  Alcotest.(check (float 1e-9)) "fraction by zero" 0. (Stats.fraction 1 0);
+  Alcotest.(check string) "percent" "12.5%" (Stats.percent 0.125);
+  let h = Stats.histogram ~bins:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.6; 3.9; 9. |] in
+  Alcotest.(check (array int)) "histogram" [| 1; 2; 0; 2 |] h
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "stddev" 2.
+    (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]);
+  Alcotest.(check (float 1e-9)) "stddev single" 0. (Stats.stddev [| 5. |])
+
+let test_table () =
+  let t = Table.create ~header:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "y" ];
+  Table.add_row t [ "longer" ];
+  let rendered = Table.to_string t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0 && String.sub rendered 0 1 = "a");
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than header columns")
+    (fun () -> Table.add_row t [ "1"; "2"; "3" ]);
+  let csv = Table.csv t in
+  Alcotest.(check string) "csv" "a,bb\nx,y\nlonger,\n" csv
+
+let test_table_csv_quoting () =
+  let t = Table.create ~header:[ "v" ] in
+  Table.add_row t [ "a,b" ];
+  Table.add_row t [ "q\"q" ];
+  Alcotest.(check string) "quoted" "v\n\"a,b\"\n\"q\"\"q\"\n" (Table.csv t)
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "bucket_queue",
+        [
+          Alcotest.test_case "pops in order" `Quick test_bucket_queue_order;
+          Alcotest.test_case "monotone violation" `Quick
+            test_bucket_queue_monotone;
+          Alcotest.test_case "rank bounds" `Quick test_bucket_queue_bounds;
+          Alcotest.test_case "clear resets" `Quick test_bucket_queue_clear;
+          test_bucket_queue_vs_sort;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basic ops" `Quick test_bitset_basic;
+          Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          test_bitset_vs_reference;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basics" `Quick test_stats;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render and csv" `Quick test_table;
+          Alcotest.test_case "csv quoting" `Quick test_table_csv_quoting;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Topology: graph construction, tiers, serialization, IXP augmentation. *)
+
+open Core
+open Test_helpers
+
+let test_graph_basics () =
+  let g = graph 4 [ c2p 1 0; c2p 2 0; p2p 1 2; c2p 3 1 ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check (array int)) "customers of 0" [| 1; 2 |] (Graph.customers g 0);
+  Alcotest.(check (array int)) "providers of 3" [| 1 |] (Graph.providers g 3);
+  Alcotest.(check (array int)) "peers of 1" [| 2 |] (Graph.peers g 1);
+  Alcotest.(check int) "c2p edges" 3 (Graph.num_customer_provider_edges g);
+  Alcotest.(check int) "p2p edges" 1 (Graph.num_peer_edges g);
+  Alcotest.(check int) "degree of 1" 3 (Graph.degree g 1);
+  Alcotest.(check bool) "3 is a stub" true (Graph.is_stub g 3);
+  Alcotest.(check bool) "0 is not a stub" false (Graph.is_stub g 0);
+  Alcotest.(check bool) "acyclic" true (Graph.acyclic_hierarchy g);
+  Alcotest.(check bool) "connected" true (Graph.connected g)
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.of_edges: self loop")
+    (fun () -> ignore (graph 2 [ c2p 1 1 ]))
+
+let test_graph_rejects_conflict () =
+  Alcotest.check_raises "conflict"
+    (Invalid_argument
+       "Graph.of_edges: conflicting relationships for pair (0, 1)") (fun () ->
+      ignore (graph 2 [ c2p 0 1; p2p 0 1 ]))
+
+let test_graph_dedups () =
+  let g = graph 2 [ c2p 0 1; c2p 0 1 ] in
+  Alcotest.(check int) "single edge" 1 (Graph.num_customer_provider_edges g)
+
+let test_graph_out_of_range () =
+  Alcotest.check_raises "range" (Invalid_argument "Graph.of_edges: AS 5 out of range")
+    (fun () -> ignore (graph 2 [ c2p 0 5 ]))
+
+let test_cycle_detection () =
+  let g = graph 3 [ c2p 0 1; c2p 1 2; c2p 2 0 ] in
+  Alcotest.(check bool) "cyclic hierarchy" false (Graph.acyclic_hierarchy g)
+
+let test_disconnected () =
+  let g = graph 4 [ c2p 0 1; c2p 2 3 ] in
+  Alcotest.(check bool) "disconnected" false (Graph.connected g)
+
+let test_edges_roundtrip =
+  qtest "of_edges/edges round trip" ~count:200 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let g2 = Graph.of_edges ~n:(Graph.n g) (Graph.edges g) in
+      List.sort compare (Graph.edges g) = List.sort compare (Graph.edges g2))
+
+let test_serial_roundtrip =
+  qtest "serialization round trip" ~count:200 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let g2 = Serial.of_string (Serial.to_string g) in
+      Graph.n g = Graph.n g2
+      && List.sort compare (Graph.edges g) = List.sort compare (Graph.edges g2))
+
+let test_serial_format () =
+  let g = graph 3 [ c2p 1 0; p2p 1 2 ] in
+  let s = Serial.to_string g in
+  Alcotest.(check string) "format" "# n=3\n0|1|-1\n1|2|0\n" s
+
+let test_serial_errors () =
+  Alcotest.check_raises "bad relationship"
+    (Failure "Serial: line 1: unknown relationship \"7\"") (fun () ->
+      ignore (Serial.of_string "1|2|7"));
+  Alcotest.check_raises "bad id" (Failure "Serial: line 1: non-integer AS id")
+    (fun () -> ignore (Serial.of_string "a|2|0"))
+
+let test_serial_remapped () =
+  (* Real-world style: sparse ASNs and a trailing source column. *)
+  let text = "# comment\n3356|21740|-1|bgp\n174|3356|0|mlp\n3356|1299|-1\n" in
+  let g, asns = Serial.of_string_remapped text in
+  Alcotest.(check int) "four ASes" 4 (Graph.n g);
+  Alcotest.(check (array int)) "asn order" [| 3356; 21740; 174; 1299 |] asns;
+  let id asn =
+    let found = ref (-1) in
+    Array.iteri (fun i a -> if a = asn then found := i) asns;
+    !found
+  in
+  Alcotest.(check bool) "21740 customer of 3356" true
+    (Array.exists (( = ) (id 3356)) (Graph.providers g (id 21740)));
+  Alcotest.(check bool) "174 peers 3356" true
+    (Array.exists (( = ) (id 174)) (Graph.peers g (id 3356)))
+
+let test_serial_extra_fields () =
+  let g = Serial.of_string "0|1|-1|extra|fields\n" in
+  Alcotest.(check int) "edge parsed" 1 (Graph.num_customer_provider_edges g)
+
+let test_serial_file_roundtrip () =
+  let g = graph 3 [ c2p 1 0; c2p 2 0 ] in
+  let path = Filename.temp_file "sbgp_test" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.save path g;
+      let g2 = Serial.load path in
+      Alcotest.(check int) "n" 3 (Graph.n g2);
+      Alcotest.(check bool) "edges equal" true
+        (List.sort compare (Graph.edges g) = List.sort compare (Graph.edges g2)))
+
+(* Tiers per Table 1 on a small hand graph. *)
+let test_tiers () =
+  (* 0,1: provider-less with customers (T1); 2: transit with providers;
+     3: stub with a peer (stub-x); 4: plain stub; 5: CP designate. *)
+  let g =
+    graph 6 [ c2p 2 0; c2p 2 1; p2p 0 1; c2p 3 2; p2p 3 5; c2p 4 2; c2p 5 2 ]
+  in
+  let tiers =
+    Tiers.classify ~n_t1:2 ~n_t2:1 ~n_t3:0 ~n_small_cp:0 ~cps:[ 5 ] g
+  in
+  Alcotest.(check string) "0 is T1" "T1" (Tiers.tier_name (Tiers.tier_of tiers 0));
+  Alcotest.(check string) "1 is T1" "T1" (Tiers.tier_name (Tiers.tier_of tiers 1));
+  Alcotest.(check string) "2 is T2" "T2" (Tiers.tier_name (Tiers.tier_of tiers 2));
+  Alcotest.(check string) "3 is stub-x" "STUB-X"
+    (Tiers.tier_name (Tiers.tier_of tiers 3));
+  Alcotest.(check string) "4 is stub" "STUB"
+    (Tiers.tier_name (Tiers.tier_of tiers 4));
+  Alcotest.(check string) "5 is CP" "CP" (Tiers.tier_name (Tiers.tier_of tiers 5));
+  Alcotest.(check (array int)) "non-stubs" [| 0; 1; 2; 5 |] (Tiers.non_stubs tiers)
+
+let test_tiers_partition =
+  qtest "tiers partition all ASes" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:60 in
+      let tiers = Tiers.classify ~n_t1:3 ~n_t2:5 ~n_t3:5 ~n_small_cp:5 g in
+      let total =
+        List.fold_left
+          (fun acc t -> acc + Array.length (Tiers.members tiers t))
+          0 Tiers.all_tiers
+      in
+      total = Graph.n g)
+
+let test_stubs_of () =
+  let g = graph 5 [ c2p 1 0; c2p 2 0; c2p 3 1; c2p 4 2; c2p 3 2 ] in
+  (* stubs: 3 (providers 1,2), 4 (provider 2). *)
+  Alcotest.(check (array int)) "stubs of [1]" [| 3 |] (Tiers.stubs_of g [| 1 |]);
+  Alcotest.(check (array int)) "stubs of [2]" [| 3; 4 |] (Tiers.stubs_of g [| 2 |]);
+  Alcotest.(check (array int)) "stubs of [0]" [||] (Tiers.stubs_of g [| 0 |])
+
+let test_ixp_augment =
+  qtest "IXP augmentation adds only new peer edges" ~count:50 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:40 in
+      let g2, added = Ixp.augment (Rng.split rng) g in
+      Graph.n g2 = Graph.n g
+      && Graph.num_customer_provider_edges g2
+         = Graph.num_customer_provider_edges g
+      && Graph.num_peer_edges g2 = Graph.num_peer_edges g + added
+      && added >= 0)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "self loop" `Quick test_graph_rejects_self_loop;
+          Alcotest.test_case "conflict" `Quick test_graph_rejects_conflict;
+          Alcotest.test_case "dedup" `Quick test_graph_dedups;
+          Alcotest.test_case "out of range" `Quick test_graph_out_of_range;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "disconnected" `Quick test_disconnected;
+          test_edges_roundtrip;
+        ] );
+      ( "serial",
+        [
+          test_serial_roundtrip;
+          Alcotest.test_case "format" `Quick test_serial_format;
+          Alcotest.test_case "errors" `Quick test_serial_errors;
+          Alcotest.test_case "file round trip" `Quick test_serial_file_roundtrip;
+          Alcotest.test_case "sparse ASN remapping" `Quick test_serial_remapped;
+          Alcotest.test_case "extra fields tolerated" `Quick
+            test_serial_extra_fields;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "table 1 classification" `Quick test_tiers;
+          test_tiers_partition;
+          Alcotest.test_case "stubs_of" `Quick test_stubs_of;
+        ] );
+      ("ixp", [ test_ixp_augment ]);
+    ]
