@@ -8,9 +8,21 @@
 
    Part 2 runs Bechamel micro-benchmarks of the core algorithms.
 
+   Part 3 times the H-metric evaluation sequentially and on the worker
+   pool over the same pair sample and checks the results are identical.
+
    Environment knobs: SBGP_BENCH_N (graph size, default 4000),
    SBGP_SCALE (sample-size multiplier, default 1.0),
-   SBGP_SEED (default 42). *)
+   SBGP_SEED (default 42), SBGP_DOMAINS (worker domains),
+   SBGP_BENCH_MICRO_N (micro-benchmark graph size, default 1500),
+   SBGP_BENCH_QUOTA (seconds of sampling per micro-benchmark, default
+   0.8), SBGP_BENCH_PAIRS (pair count for the H-metric comparison,
+   default 256).
+
+   With --json on the command line (or SBGP_BENCH_JSON=1), all timings
+   are additionally written to BENCH_<label>.json, where <label> comes
+   from SBGP_BENCH_LABEL (default "default") — one flat document per
+   run, meant for diffing across commits. *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -27,6 +39,7 @@ let run_experiments () =
   let n = env_int "SBGP_BENCH_N" 4000 in
   let seed = env_int "SBGP_SEED" 42 in
   let scale = env_float "SBGP_SCALE" 1.0 in
+  let timings = ref [] in
   let ctx = Core.Experiments.Context.make ~n ~seed ~scale () in
   Printf.printf "#### Experiment harness: %s ####\n\n%!"
     (Core.Experiments.Context.describe ctx);
@@ -34,8 +47,9 @@ let run_experiments () =
     (fun e ->
       let t0 = Unix.gettimeofday () in
       print_string (e.Core.Experiments.Registry.run ctx);
-      Printf.printf "[%s: %.1fs]\n\n%!" e.Core.Experiments.Registry.id
-        (Unix.gettimeofday () -. t0))
+      let dt = Unix.gettimeofday () -. t0 in
+      timings := (e.Core.Experiments.Registry.id, dt) :: !timings;
+      Printf.printf "[%s: %.1fs]\n\n%!" e.Core.Experiments.Registry.id dt)
     Core.Experiments.Registry.all;
   (* Appendix J: robustness of the headline results on the IXP-augmented
      graph. *)
@@ -48,10 +62,12 @@ let run_experiments () =
       | Some e ->
           let t0 = Unix.gettimeofday () in
           print_string (e.Core.Experiments.Registry.run ixp);
-          Printf.printf "[%s (ixp): %.1fs]\n\n%!" id
-            (Unix.gettimeofday () -. t0)
+          let dt = Unix.gettimeofday () -. t0 in
+          timings := ("ixp:" ^ id, dt) :: !timings;
+          Printf.printf "[%s (ixp): %.1fs]\n\n%!" id dt
       | None -> assert false)
-    [ "baseline"; "partitions"; "partitions-tier"; "lpk" ]
+    [ "baseline"; "partitions"; "partitions-tier"; "lpk" ];
+  List.rev !timings
 
 (* Micro-benchmarks of the core algorithms. *)
 
@@ -59,9 +75,10 @@ open Bechamel
 open Toolkit
 
 let micro_tests () =
+  let n_micro = env_int "SBGP_BENCH_MICRO_N" 1500 in
   let result =
     Core.Topogen.generate
-      ~params:(Core.Topogen.default_params ~n:1500)
+      ~params:(Core.Topogen.default_params ~n:n_micro)
       (Core.Rng.create 1)
   in
   let g = result.Core.Topogen.graph in
@@ -76,60 +93,80 @@ let micro_tests () =
   let engine p dep () =
     ignore (Core.Engine.compute g p dep ~dst ~attacker:(Some attacker))
   in
+  (* Same computation through a reused workspace: the delta against the
+     plain engine rows is the allocation/zeroing cost saved per pair. *)
+  let ws = Core.Engine.Workspace.create n in
+  let engine_ws p dep () =
+    ignore (Core.Engine.compute ~ws g p dep ~dst ~attacker:(Some attacker))
+  in
   (* The staged reference algorithm and the dynamic simulator are
      quadratic-ish; bench them on a small graph. *)
+  let n_small = min 200 n_micro in
   let small =
     (Core.Topogen.generate
-       ~params:(Core.Topogen.default_params ~n:200)
+       ~params:(Core.Topogen.default_params ~n:n_small)
        (Core.Rng.create 2))
       .Core.Topogen.graph
   in
-  let small_dep = Core.Deployment.empty 200 in
+  let small_dep = Core.Deployment.empty n_small in
   let sec3 = policy Core.Policy.Security_third in
+  let nm label = Printf.sprintf "%s (n=%d)" label n_micro in
   Test.make_grouped ~name:"sbgp"
     [
-      Test.make ~name:"engine/sec1 (n=1500)"
+      Test.make ~name:(nm "engine/sec1")
         (Staged.stage (engine (policy Core.Policy.Security_first) dep));
-      Test.make ~name:"engine/sec2 (n=1500)"
+      Test.make ~name:(nm "engine/sec2")
         (Staged.stage (engine (policy Core.Policy.Security_second) dep));
-      Test.make ~name:"engine/sec3 (n=1500)"
+      Test.make ~name:(nm "engine/sec3")
         (Staged.stage (engine (policy Core.Policy.Security_third) dep));
-      Test.make ~name:"engine/sec3-lp2 (n=1500)"
+      Test.make ~name:(nm "engine/sec3+ws")
+        (Staged.stage (engine_ws (policy Core.Policy.Security_third) dep));
+      Test.make ~name:(nm "engine/sec3-lp2")
         (Staged.stage
            (engine
               (Core.Policy.make ~lp:(Core.Policy.Lp_k 2)
                  Core.Policy.Security_third)
               dep));
-      Test.make ~name:"engine/baseline (n=1500)"
+      Test.make ~name:(nm "engine/baseline")
         (Staged.stage (engine sec3 empty));
-      Test.make ~name:"partition/sec2 (n=1500)"
+      Test.make ~name:(nm "engine/baseline+ws")
+        (Staged.stage (engine_ws sec3 empty));
+      Test.make ~name:(nm "partition/sec2")
         (Staged.stage (fun () ->
              ignore
                (Core.Partition.count g
                   (policy Core.Policy.Security_second)
                   ~attacker ~dst)));
-      Test.make ~name:"partition/sec1 (n=1500)"
+      Test.make ~name:(nm "partition/sec2+ws")
+        (Staged.stage (fun () ->
+             ignore
+               (Core.Partition.count ~ws g
+                  (policy Core.Policy.Security_second)
+                  ~attacker ~dst)));
+      Test.make ~name:(nm "partition/sec1")
         (Staged.stage (fun () ->
              ignore
                (Core.Partition.count g
                   (policy Core.Policy.Security_first)
                   ~attacker ~dst)));
-      Test.make ~name:"staged-reference (n=200)"
+      Test.make
+        ~name:(Printf.sprintf "staged-reference (n=%d)" n_small)
         (Staged.stage (fun () ->
              ignore
                (Core.Staged.compute small sec3 small_dep ~dst:0
                   ~attacker:(Some 1))));
-      Test.make ~name:"bgpsim-converge (n=200)"
+      Test.make
+        ~name:(Printf.sprintf "bgpsim-converge (n=%d)" n_small)
         (Staged.stage (fun () ->
              let sim =
                Core.Bgpsim.create small sec3 small_dep ~dst:0 ~attacker:1 ()
              in
              ignore (Core.Bgpsim.run sim)));
-      Test.make ~name:"topogen (n=1500)"
+      Test.make ~name:(nm "topogen")
         (Staged.stage (fun () ->
              ignore
                (Core.Topogen.generate
-                  ~params:(Core.Topogen.default_params ~n:1500)
+                  ~params:(Core.Topogen.default_params ~n:n_micro)
                   (Core.Rng.create 3))));
     ]
 
@@ -138,24 +175,151 @@ let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.8) ~kde:None () in
+  let quota = env_float "SBGP_BENCH_QUOTA" 0.8 in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None ()
+  in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
-  List.iter
-    (fun (name, est) ->
-      let per_run =
-        match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan
-      in
-      Printf.printf "  %-32s %12.1f ns/run  (r2=%s)\n" name per_run
-        (match Analyze.OLS.r_square est with
-        | Some r -> Printf.sprintf "%.3f" r
-        | None -> "-"))
-    (List.sort compare rows);
-  print_newline ()
+  let rows = List.sort compare rows in
+  let out =
+    List.map
+      (fun (name, est) ->
+        let per_run =
+          match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan
+        in
+        Printf.printf "  %-32s %12.1f ns/run  (r2=%s)\n" name per_run
+          (match Analyze.OLS.r_square est with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-");
+        (name, per_run))
+      rows
+  in
+  print_newline ();
+  out
+
+(* Sequential vs pooled H-metric over the same sample, plus the
+   determinism check that both give identical bounds. *)
+let run_h_metric_comparison () =
+  let target_pairs = max 4 (env_int "SBGP_BENCH_PAIRS" 256) in
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let result =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n)
+      (Core.Rng.create seed)
+  in
+  let g = result.Core.Topogen.graph in
+  let tiers = Core.Topogen.tiers result in
+  let dep = Core.Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let policy = Core.Policy.make Core.Policy.Security_third in
+  let rng = Core.Rng.create (seed + 7) in
+  let k = int_of_float (ceil (sqrt (float_of_int target_pairs))) + 1 in
+  let pick () =
+    let n = Core.Graph.n g in
+    Core.Rng.sample_without_replacement rng (min k n) n
+  in
+  let attackers = pick () and dsts = pick () in
+  let pairs = Core.Metric.pairs ~attackers ~dsts () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = time (fun () -> Core.Metric.h_metric g policy dep pairs) in
+  let domains = max 2 (Core.Parallel.default_domains ()) in
+  let pool = Core.Parallel.Pool.create ~domains () in
+  let par, pool_s =
+    Fun.protect
+      ~finally:(fun () -> Core.Parallel.Pool.shutdown pool)
+      (fun () -> time (fun () -> Core.Metric.h_metric ~pool g policy dep pairs))
+  in
+  let identical = seq = par in
+  Printf.printf
+    "#### H-metric: %d pairs, sequential %.3fs vs pool(%d domains) %.3fs \
+     (x%.2f), identical=%b ####\n\n\
+     %!"
+    (Array.length pairs) seq_s domains pool_s (seq_s /. pool_s) identical;
+  if not identical then failwith "h_metric: pool result differs from sequential";
+  [
+    ("pairs", float_of_int (Array.length pairs));
+    ("domains", float_of_int domains);
+    ("seq_s", seq_s);
+    ("pool_s", pool_s);
+    ("speedup", seq_s /. pool_s);
+    ("identical", if identical then 1. else 0.);
+  ]
+
+(* Minimal JSON emission — no dependencies, flat string/number maps. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) v)
+         fields)
+  ^ "}"
+
+let write_json ~label ~experiments ~micro ~h_metric ~total_s =
+  let num_map kvs = json_obj (List.map (fun (k, v) -> (k, json_float v)) kvs) in
+  let doc =
+    json_obj
+      [
+        ("label", Printf.sprintf "\"%s\"" (json_escape label));
+        ("n", string_of_int (env_int "SBGP_BENCH_N" 4000));
+        ("scale", json_float (env_float "SBGP_SCALE" 1.0));
+        ("seed", string_of_int (env_int "SBGP_SEED" 42));
+        ("domains", string_of_int (Core.Parallel.default_domains ()));
+        ("experiments_s", num_map experiments);
+        ("micro_ns_per_run", num_map micro);
+        ("h_metric", num_map h_metric);
+        ("total_s", json_float total_s);
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" label in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc doc;
+      output_char oc '\n');
+  Printf.printf "wrote %s\n%!" path
 
 let () =
+  let json =
+    Array.exists (( = ) "--json") Sys.argv
+    ||
+    match Sys.getenv_opt "SBGP_BENCH_JSON" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
   let t0 = Unix.gettimeofday () in
-  run_experiments ();
-  run_micro ();
-  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t0)
+  let experiments = run_experiments () in
+  let micro = run_micro () in
+  let h_metric = run_h_metric_comparison () in
+  let total_s = Unix.gettimeofday () -. t0 in
+  if json then begin
+    let label =
+      match Sys.getenv_opt "SBGP_BENCH_LABEL" with
+      | Some l when l <> "" -> l
+      | _ -> "default"
+    in
+    write_json ~label ~experiments ~micro ~h_metric ~total_s
+  end;
+  Printf.printf "total bench time: %.1fs\n" total_s

@@ -25,6 +25,24 @@ let scale_arg =
   in
   Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S" ~doc)
 
+let domains_arg =
+  let doc =
+    "Number of worker domains for parallel experiment evaluation \
+     (default: the SBGP_DOMAINS environment variable, else the number of \
+     cores).  Results are identical for every value."
+  in
+  let positive =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | Some _ -> Error (`Msg "must be >= 1")
+      | None -> Error (`Msg "expected an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value & opt (some positive) None & info [ "domains"; "j" ] ~docv:"D" ~doc)
+
 let graph_arg =
   let doc =
     "Load the AS graph from this CAIDA-style relationship file instead of \
@@ -33,9 +51,9 @@ let graph_arg =
   in
   Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc)
 
-let context n seed ixp scale graph_file =
+let context n seed ixp scale domains graph_file =
   match graph_file with
-  | None -> Core.Experiments.Context.make ~n ~seed ~ixp ~scale ()
+  | None -> Core.Experiments.Context.make ~n ~seed ~ixp ~scale ?domains ()
   | Some path ->
       (* Real CAIDA relationship files use sparse AS numbers; remap them
          onto dense ids. *)
@@ -52,7 +70,7 @@ let context n seed ixp scale graph_file =
                compare (Core.Graph.peer_degree g b) (Core.Graph.peer_degree g a))
       in
       let cps = Array.of_list (List.filteri (fun i _ -> i < 17) candidates) in
-      Core.Experiments.Context.of_graph ~seed ~scale
+      Core.Experiments.Context.of_graph ~seed ~scale ?domains
         ~label:(Filename.basename path) g ~cps
 
 let gen_cmd =
@@ -129,11 +147,11 @@ let exp_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write each experiment's output to DIR/<id>.txt instead of stdout.")
   in
-  let run n seed ixp scale graph_file out_dir which =
+  let run n seed ixp scale domains graph_file out_dir which =
     (match out_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
-    let ctx = context n seed ixp scale graph_file in
+    let ctx = context n seed ixp scale domains graph_file in
     Printf.printf "context: %s\n\n%!" (Core.Experiments.Context.describe ctx);
     let entries =
       match which with
@@ -155,12 +173,12 @@ let exp_cmd =
     (Cmd.info "run"
        ~doc:"Run one or more experiments (all of them by default).")
     Term.(
-      const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ graph_arg $ out_dir
-      $ which)
+      const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
+      $ graph_arg $ out_dir $ which)
 
 let info_cmd =
-  let run n seed ixp scale graph_file =
-    let ctx = context n seed ixp scale graph_file in
+  let run n seed ixp scale domains graph_file =
+    let ctx = context n seed ixp scale domains graph_file in
     print_string (Core.Experiments.Context.describe ctx);
     print_newline ();
     print_string (Core.Tiers.summary ctx.Core.Experiments.Context.graph
@@ -168,7 +186,9 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Describe the experiment context (graph, tiers).")
-    Term.(const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ graph_arg)
+    Term.(
+      const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
+      $ graph_arg)
 
 let main =
   Cmd.group

@@ -11,6 +11,9 @@ type t = {
   ribs : (int, announcement) Hashtbl.t array; (* ribs.(v): neighbor -> ann *)
   chosen : announcement option array;
   down : (int * int, unit) Hashtbl.t; (* failed links, key (min, max) *)
+  rel_of : (int, Routing.Policy.route_class) Hashtbl.t array;
+      (* rel_of.(v): neighbor -> relationship from v's point of view *)
+  nbrs : int array array; (* nbrs.(v): customers, then peers, then providers *)
 }
 
 let key a b = if a < b then (a, b) else (b, a)
@@ -18,23 +21,13 @@ let alive t a b = not (Hashtbl.mem t.down (key a b))
 
 (* Relationship of neighbor [u] from [v]'s point of view. *)
 let rel t v u =
-  if Array.exists (( = ) u) (Topology.Graph.customers t.graph v) then
-    Routing.Policy.Customer
-  else if Array.exists (( = ) u) (Topology.Graph.peers t.graph v) then
-    Routing.Policy.Peer
-  else if Array.exists (( = ) u) (Topology.Graph.providers t.graph v) then
-    Routing.Policy.Provider
-  else invalid_arg (Printf.sprintf "Bgpsim: %d and %d are not neighbors" v u)
+  match Hashtbl.find_opt t.rel_of.(v) u with
+  | Some r -> r
+  | None ->
+      invalid_arg (Printf.sprintf "Bgpsim: %d and %d are not neighbors" v u)
 
 let is_root t v = v = t.dst || t.attacker = Some v
-
-let neighbors t v =
-  Array.concat
-    [
-      Topology.Graph.customers t.graph v;
-      Topology.Graph.peers t.graph v;
-      Topology.Graph.providers t.graph v;
-    ]
+let neighbors t v = t.nbrs.(v)
 
 (* What [v] currently announces, if anything. *)
 let announcement_of t v =
@@ -85,6 +78,31 @@ let create ?policy_of ?(hysteresis = false) graph policy dep ~dst ?attacker () =
   | Some m when m < 0 || m >= n || m = dst ->
       invalid_arg "Bgpsim.create: bad attacker"
   | Some _ | None -> ());
+  let rel_of =
+    Array.init n (fun v ->
+        let customers = Topology.Graph.customers graph v
+        and peers = Topology.Graph.peers graph v
+        and providers = Topology.Graph.providers graph v in
+        let tbl =
+          Hashtbl.create
+            (Array.length customers + Array.length peers
+            + Array.length providers)
+        in
+        let put cls u = Hashtbl.replace tbl u cls in
+        Array.iter (put Routing.Policy.Customer) customers;
+        Array.iter (put Routing.Policy.Peer) peers;
+        Array.iter (put Routing.Policy.Provider) providers;
+        tbl)
+  in
+  let nbrs =
+    Array.init n (fun v ->
+        Array.concat
+          [
+            Topology.Graph.customers graph v;
+            Topology.Graph.peers graph v;
+            Topology.Graph.providers graph v;
+          ])
+  in
   let t =
     {
       graph;
@@ -97,6 +115,8 @@ let create ?policy_of ?(hysteresis = false) graph policy dep ~dst ?attacker () =
       ribs = Array.init n (fun _ -> Hashtbl.create 4);
       chosen = Array.make n None;
       down = Hashtbl.create 8;
+      rel_of;
+      nbrs;
     }
   in
   broadcast t dst;

@@ -7,10 +7,18 @@ type t = {
   scale : float;
   all : int array;
   non_stubs : int array;
+  domains : int;
+  pool_cell : Parallel.Pool.t Lazy.t;
 }
 
-let finish ~label ~seed ~scale graph cps =
+let finish ~label ~seed ~scale ~domains graph cps =
   let tiers = Topology.Tiers.classify ~cps:(Array.to_list cps) graph in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Context: domains must be >= 1"
+    | None -> Parallel.default_domains ()
+  in
   {
     label;
     graph;
@@ -20,9 +28,19 @@ let finish ~label ~seed ~scale graph cps =
     scale;
     all = Array.init (Topology.Graph.n graph) Fun.id;
     non_stubs = Topology.Tiers.non_stubs tiers;
+    domains;
+    pool_cell =
+      (* Share the process-wide pool when the requested width matches it;
+         contexts asking for a specific other width get their own pool.
+         Lazy, so contexts that never run an experiment spawn nothing. *)
+      lazy
+        (if domains = Parallel.default_domains () then Parallel.default_pool ()
+         else Parallel.Pool.create ~domains ());
   }
 
-let make ?(n = 4000) ?(seed = 42) ?(ixp = false) ?(scale = 1.) () =
+let pool t = Lazy.force t.pool_cell
+
+let make ?(n = 4000) ?(seed = 42) ?(ixp = false) ?(scale = 1.) ?domains () =
   let r = Topogen.generate ~params:(Topogen.default_params ~n) (Rng.create seed) in
   let graph, label =
     if ixp then begin
@@ -31,10 +49,10 @@ let make ?(n = 4000) ?(seed = 42) ?(ixp = false) ?(scale = 1.) () =
     end
     else (r.Topogen.graph, "base")
   in
-  finish ~label ~seed ~scale graph r.Topogen.cps
+  finish ~label ~seed ~scale ~domains graph r.Topogen.cps
 
-let of_graph ?(seed = 42) ?(scale = 1.) ~label graph ~cps =
-  finish ~label ~seed ~scale graph cps
+let of_graph ?(seed = 42) ?(scale = 1.) ?domains ~label graph ~cps =
+  finish ~label ~seed ~scale ~domains graph cps
 
 let rng t purpose =
   (* Mix the purpose string into the seed so each experiment gets an
@@ -47,7 +65,7 @@ let sample t purpose pool k =
   let k = min k (Array.length pool) in
   let idx = Rng.sample_without_replacement (rng t purpose) k (Array.length pool) in
   let out = Array.map (fun i -> pool.(i)) idx in
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let tier_members t tier = Topology.Tiers.members t.tiers tier

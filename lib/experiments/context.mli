@@ -16,18 +16,29 @@ type t = {
   scale : float;
   all : int array;        (** every AS *)
   non_stubs : int array;  (** the non-stub attacker pool M' of Section 5 *)
+  domains : int;          (** worker-domain count for the experiment pool *)
+  pool_cell : Parallel.Pool.t Lazy.t;  (** use {!pool} *)
 }
 
 val make :
-  ?n:int -> ?seed:int -> ?ixp:bool -> ?scale:float -> unit -> t
-(** Defaults: [n = 4000], [seed = 42], [ixp = false], [scale = 1.].
-    Deterministic: the same arguments produce the same context. *)
+  ?n:int -> ?seed:int -> ?ixp:bool -> ?scale:float -> ?domains:int ->
+  unit -> t
+(** Defaults: [n = 4000], [seed = 42], [ixp = false], [scale = 1.],
+    [domains] from [SBGP_DOMAINS] / the runtime's recommendation.
+    Deterministic: the same arguments produce the same context — and the
+    experiment output does not depend on [domains] (per-pair results are
+    reduced in a fixed order). *)
 
 val of_graph :
-  ?seed:int -> ?scale:float -> label:string ->
+  ?seed:int -> ?scale:float -> ?domains:int -> label:string ->
   Topology.Graph.t -> cps:int array -> t
 (** Wrap an externally loaded graph (e.g. real CAIDA data via
     {!Topology.Serial}). *)
+
+val pool : t -> Parallel.Pool.t
+(** The context's worker pool, created lazily on first use ([domains]
+    wide; the process-wide default pool is shared when the widths agree).
+    Experiments thread this through {!Util}'s helpers. *)
 
 val rng : t -> string -> Rng.t
 (** A fresh generator derived from the context seed and a purpose string,

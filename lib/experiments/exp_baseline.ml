@@ -17,7 +17,7 @@ let run (ctx : Context.t) =
     (Printf.sprintf "pairs sampled: %d (%d attackers x %d destinations)\n"
        (Array.length pairs) (Array.length attackers) (Array.length dsts));
   (* The baseline is model-independent; compute under security 3rd. *)
-  let b = Util.h ctx.graph Context.sec3 dep pairs in
+  let b = Util.h ~pool:(Context.pool ctx) ctx.graph Context.sec3 dep pairs in
   Buffer.add_string buf
     (Printf.sprintf "H_{V,V}({}) bounds: %s\n" (Util.pct_bounds b));
   Buffer.add_string buf

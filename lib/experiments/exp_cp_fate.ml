@@ -13,6 +13,7 @@ let run_policy (ctx : Context.t) policy =
     Context.sample ctx "cpfate-att" ctx.non_stubs (Context.scaled ctx 30)
   in
   let n = Topology.Graph.n ctx.graph in
+  let pool = Context.pool ctx in
   let table =
     Prelude.Table.create
       ~header:
@@ -26,6 +27,8 @@ let run_policy (ctx : Context.t) policy =
   in
   Array.iteri
     (fun cp_index dst ->
+      (* [normal] is shared read-only by every worker below, so it must
+         not live in any domain's reusable workspace. *)
       let normal =
         Routing.Engine.compute ctx.graph policy dep ~dst ~attacker:None
       in
@@ -33,38 +36,51 @@ let run_policy (ctx : Context.t) policy =
       for v = 0 to n - 1 do
         if v <> dst && Routing.Outcome.secure normal v then incr secure_normal
       done;
-      let downgraded = ref 0 and kept_immune = ref 0 and kept_other = ref 0 in
-      let samples = ref 0 in
-      Array.iter
-        (fun attacker ->
-          if attacker <> dst then begin
-            incr samples;
-            let attack =
-              Routing.Engine.compute ctx.graph policy dep ~dst
-                ~attacker:(Some attacker)
-            in
-            let classes =
-              Metric.Partition.compute ctx.graph policy ~attacker ~dst
-            in
-            for v = 0 to n - 1 do
-              if v <> dst && v <> attacker && Routing.Outcome.secure normal v
-              then
-                if not (Routing.Outcome.secure attack v) then incr downgraded
-                else if classes.(v) = Metric.Partition.Immune then
-                  incr kept_immune
-                else incr kept_other
-            done
-          end)
-        attackers;
-      let sources = float_of_int ((n - 2) * !samples) in
+      let per_attacker =
+        Parallel.map ~pool
+          (fun attacker ->
+            if attacker = dst then (0, 0, 0, 0)
+            else begin
+              let ws = Routing.Engine.Workspace.local () in
+              (* [classes] is materialized into a fresh array, so it is
+                 safe to recycle [ws] for [attack] afterwards. *)
+              let classes =
+                Metric.Partition.compute ~ws ctx.graph policy ~attacker ~dst
+              in
+              let attack =
+                Routing.Engine.compute ~ws ctx.graph policy dep ~dst
+                  ~attacker:(Some attacker)
+              in
+              let downgraded = ref 0
+              and kept_immune = ref 0
+              and kept_other = ref 0 in
+              for v = 0 to n - 1 do
+                if v <> dst && v <> attacker && Routing.Outcome.secure normal v
+                then
+                  if not (Routing.Outcome.secure attack v) then incr downgraded
+                  else if classes.(v) = Metric.Partition.Immune then
+                    incr kept_immune
+                  else incr kept_other
+              done;
+              (1, !downgraded, !kept_immune, !kept_other)
+            end)
+          attackers
+      in
+      let samples, downgraded, kept_immune, kept_other =
+        Array.fold_left
+          (fun (s, d, ki, ko) (s', d', ki', ko') ->
+            (s + s', d + d', ki + ki', ko + ko'))
+          (0, 0, 0, 0) per_attacker
+      in
+      let sources = float_of_int ((n - 2) * samples) in
       let frac x = float_of_int x /. sources in
       Prelude.Table.add_row table
         [
           Printf.sprintf "CP%d (AS %d)" (cp_index + 1) dst;
           Util.pct (float_of_int !secure_normal /. float_of_int (n - 1));
-          Util.pct (frac !downgraded);
-          Util.pct (frac !kept_immune);
-          Util.pct (frac !kept_other);
+          Util.pct (frac downgraded);
+          Util.pct (frac kept_immune);
+          Util.pct (frac kept_other);
         ])
     ctx.cps;
   table

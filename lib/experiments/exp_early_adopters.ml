@@ -36,7 +36,8 @@ let run (ctx : Context.t) =
       List.iter
         (fun policy ->
           let deltas =
-            Util.per_destination_changes ctx.graph policy dep ~attackers ~dsts
+            Util.per_destination_changes ~pool:(Context.pool ctx) ctx.graph
+              policy dep ~attackers ~dsts
           in
           let mean f = Prelude.Stats.mean (Array.map (fun (_, b) -> f b) deltas) in
           Prelude.Table.add_row table

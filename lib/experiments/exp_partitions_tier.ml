@@ -31,11 +31,12 @@ let by_destination (ctx : Context.t) policy =
             members (Context.scaled ctx 25)
         in
         let pairs = Metric.H_metric.pairs ~attackers ~dsts () in
+        let pool = Context.pool ctx in
         let doomed, protectable, immune =
-          Util.partition_fractions ctx.graph policy pairs
+          Util.partition_fractions ~pool ctx.graph policy pairs
         in
         let baseline =
-          Util.h ctx.graph policy
+          Util.h ~pool ctx.graph policy
             (Deployment.empty (Topology.Graph.n ctx.graph))
             pairs
         in
@@ -68,7 +69,8 @@ let by_attacker (ctx : Context.t) policy =
         in
         let pairs = Metric.H_metric.pairs ~attackers ~dsts () in
         let doomed, protectable, immune =
-          Util.partition_fractions ctx.graph policy pairs
+          Util.partition_fractions ~pool:(Context.pool ctx) ctx.graph policy
+            pairs
         in
         Prelude.Table.add_row table
           [
@@ -94,8 +96,8 @@ let by_source (ctx : Context.t) policy =
       let members = Context.tier_members ctx tier in
       if Array.length members > 0 then begin
         let doomed, protectable, immune =
-          Util.partition_fractions_among ctx.graph policy pairs
-            ~sources:members
+          Util.partition_fractions_among ~pool:(Context.pool ctx) ctx.graph
+            policy pairs ~sources:members
         in
         Prelude.Table.add_row table
           [

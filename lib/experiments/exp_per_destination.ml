@@ -35,7 +35,8 @@ let summary (ctx : Context.t) dep_label dep =
   List.iter
     (fun policy ->
       let deltas =
-        Util.per_destination_changes ctx.graph policy dep ~attackers ~dsts
+        Util.per_destination_changes ~pool:(Context.pool ctx) ctx.graph policy
+          dep ~attackers ~dsts
       in
       let lbs = Array.map (fun (_, b) -> b.Metric.H_metric.lb) deltas in
       let small_gain =
@@ -51,7 +52,7 @@ let summary (ctx : Context.t) dep_label dep =
       (* True protection level under this deployment (not the delta). *)
       let h_mean =
         Prelude.Stats.mean
-          (Array.map
+          (Parallel.map ~pool:(Context.pool ctx)
              (fun dst ->
                (Metric.H_metric.h_metric_per_dst ctx.graph policy dep
                   ~attackers ~dst)

@@ -32,7 +32,8 @@ let secure_dest_delta (ctx : Context.t) policy dep ~attackers ~n_dsts =
         secure n_dsts
     in
     let deltas =
-      Util.per_destination_changes ctx.graph policy dep ~attackers ~dsts
+      Util.per_destination_changes ~pool:(Context.pool ctx) ctx.graph policy
+        dep ~attackers ~dsts
     in
     let avg f =
       Prelude.Stats.mean (Array.map (fun (_, b) -> f b) deltas)
@@ -67,9 +68,14 @@ let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
           "dH over d in S";
         ]
   in
+  let pool = Context.pool ctx in
   let baselines =
     List.map
-      (fun policy -> (policy, Util.h ctx.graph policy (Deployment.empty (Topology.Graph.n ctx.graph)) pairs))
+      (fun policy ->
+        ( policy,
+          Util.h ~pool ctx.graph policy
+            (Deployment.empty (Topology.Graph.n ctx.graph))
+            pairs ))
       Context.policies
   in
   List.iter
@@ -77,13 +83,13 @@ let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
       List.iter
         (fun policy ->
           let baseline = List.assq policy baselines in
-          let with_s = Util.h ctx.graph policy step.dep pairs in
+          let with_s = Util.h ~pool ctx.graph policy step.dep pairs in
           let delta = Metric.H_metric.bounds_improvement with_s baseline in
           let simplex_cell =
             match step.simplex with
             | None -> "-"
             | Some sdep ->
-                let ws = Util.h ctx.graph policy sdep pairs in
+                let ws = Util.h ~pool ctx.graph policy sdep pairs in
                 Util.pct_delta (Metric.H_metric.bounds_improvement ws baseline)
           in
           let per_dest =

@@ -11,41 +11,46 @@ let pct_delta (b : Metric.H_metric.bounds) =
   Printf.sprintf "%+.1f%% / %+.1f%%" (100. *. b.Metric.H_metric.lb)
     (100. *. b.Metric.H_metric.ub)
 
-(* Average partition fractions over a set of attacker-destination pairs. *)
-let partition_fractions g policy pairs =
-  let total =
-    Array.fold_left
-      (fun acc { Metric.H_metric.attacker; dst } ->
-        Metric.Partition.add acc
-          (Metric.Partition.count g policy ~attacker ~dst))
-      Metric.Partition.zero pairs
+(* Average partition fractions over a set of attacker-destination pairs.
+   The per-pair classifications are independent; fan them out over the
+   pool (integer counts, so the reduction is order-insensitive anyway —
+   we still reduce in input order). *)
+let partition_counts ?pool pairs ~count_one =
+  let per_pair =
+    Parallel.map ?pool
+      (fun { Metric.H_metric.attacker; dst } ->
+        count_one ~ws:(Routing.Engine.Workspace.local ()) ~attacker ~dst)
+      pairs
   in
-  Metric.Partition.fractions total
+  Array.fold_left Metric.Partition.add Metric.Partition.zero per_pair
 
-let partition_fractions_among g policy pairs ~sources =
-  let total =
-    Array.fold_left
-      (fun acc { Metric.H_metric.attacker; dst } ->
-        Metric.Partition.add acc
-          (Metric.Partition.count_among g policy ~attacker ~dst ~sources))
-      Metric.Partition.zero pairs
-  in
-  Metric.Partition.fractions total
+let partition_fractions ?pool g policy pairs =
+  Metric.Partition.fractions
+    (partition_counts ?pool pairs ~count_one:(fun ~ws ~attacker ~dst ->
+         Metric.Partition.count ~ws g policy ~attacker ~dst))
+
+let partition_fractions_among ?pool g policy pairs ~sources =
+  Metric.Partition.fractions
+    (partition_counts ?pool pairs ~count_one:(fun ~ws ~attacker ~dst ->
+         Metric.Partition.count_among ~ws g policy ~attacker ~dst ~sources))
 
 (* H over pairs, and the improvement over the empty deployment. *)
-let h g policy dep pairs = Metric.H_metric.h_metric g policy dep pairs
+let h ?pool g policy dep pairs = Metric.H_metric.h_metric ?pool g policy dep pairs
 
-let delta_h g policy dep pairs =
-  let base = h g policy (Deployment.empty (Topology.Graph.n g)) pairs in
-  let with_s = h g policy dep pairs in
+let delta_h ?pool g policy dep pairs =
+  let base = h ?pool g policy (Deployment.empty (Topology.Graph.n g)) pairs in
+  let with_s = h ?pool g policy dep pairs in
   (base, with_s, Metric.H_metric.bounds_improvement with_s base)
 
 let header title paper =
   Printf.sprintf "=== %s ===\n(paper: %s)\n" title paper
 
-(* Per-destination metric change, for the Figure 9/10/12 sequences. *)
-let per_destination_changes g policy dep ~attackers ~dsts =
-  Array.map
+(* Per-destination metric change, for the Figure 9/10/12 sequences.
+   Parallelism is per destination (the coarsest independent unit here);
+   the inner h_metric calls then run sequentially in their worker — a
+   nested pool map would degrade to sequential anyway. *)
+let per_destination_changes ?pool g policy dep ~attackers ~dsts =
+  Parallel.map ?pool
     (fun dst ->
       let base =
         Metric.H_metric.h_metric_per_dst g policy

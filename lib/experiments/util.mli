@@ -11,13 +11,17 @@ val pct_delta : Metric.H_metric.bounds -> string
     optimistic tiebreak worlds: ["+x% / +y%"]. *)
 
 val partition_fractions :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Metric.H_metric.pair array ->
   float * float * float
-(** Average (doomed, protectable, immune) fractions over the pairs. *)
+(** Average (doomed, protectable, immune) fractions over the pairs,
+    fanned out over [pool] (or the default pool) one pair per work item;
+    each domain reuses its private engine workspace. *)
 
 val partition_fractions_among :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Metric.H_metric.pair array ->
@@ -25,6 +29,7 @@ val partition_fractions_among :
   float * float * float
 
 val h :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
@@ -32,6 +37,7 @@ val h :
   Metric.H_metric.bounds
 
 val delta_h :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
@@ -42,10 +48,12 @@ val delta_h :
 val header : string -> string -> string
 
 val per_destination_changes :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
   attackers:int array ->
   dsts:int array ->
   (int * Metric.H_metric.bounds) array
-(** Per-destination metric improvement [H_{M',d}(S) - H_{M',d}({})]. *)
+(** Per-destination metric improvement [H_{M',d}(S) - H_{M',d}({})].
+    Parallel per destination. *)

@@ -49,51 +49,88 @@ let to_bounds c =
 type pair = { attacker : int; dst : int }
 
 let pairs ?rng ?max_pairs ~attackers ~dsts () =
-  let all = ref [] in
-  let count = ref 0 in
+  let total = ref 0 in
   Array.iter
-    (fun m ->
-      Array.iter
-        (fun d ->
-          if m <> d then begin
-            all := { attacker = m; dst = d } :: !all;
-            incr count
-          end)
-        dsts)
+    (fun m -> Array.iter (fun d -> if m <> d then incr total) dsts)
     attackers;
-  let all = Array.of_list !all in
-  match max_pairs with
-  | Some k when Array.length all > k -> (
-      match rng with
-      | None -> invalid_arg "Metric.pairs: sampling requires ~rng"
-      | Some rng ->
-          let idx = Rng.sample_without_replacement rng k (Array.length all) in
-          Array.map (fun i -> all.(i)) idx)
-  | _ ->
-      (* Deterministic order for reproducibility. *)
-      Array.sort compare all;
-      all
+  let total = !total in
+  if total = 0 then [||]
+  else
+    match max_pairs with
+    | Some k when total > k -> (
+        match rng with
+        | None -> invalid_arg "Metric.pairs: sampling requires ~rng"
+        | Some rng ->
+            (* Enumeration order matters here: the sampled indices land in
+               the same array the historical list-cons construction built
+               (reverse enumeration), keeping seeded samples identical. *)
+            let all = Array.make total { attacker = 0; dst = 0 } in
+            let i = ref (total - 1) in
+            Array.iter
+              (fun m ->
+                Array.iter
+                  (fun d ->
+                    if m <> d then begin
+                      all.(!i) <- { attacker = m; dst = d };
+                      decr i
+                    end)
+                  dsts)
+              attackers;
+            let idx = Rng.sample_without_replacement rng k total in
+            Array.map (fun i -> all.(i)) idx)
+    | _ ->
+        (* Generate directly in deterministic (attacker, dst) order from
+           sorted copies of the inputs — no list-cons, no sort of the
+           cross product. *)
+        let sa = Array.copy attackers and sd = Array.copy dsts in
+        Array.sort Int.compare sa;
+        Array.sort Int.compare sd;
+        let out = Array.make total { attacker = 0; dst = 0 } in
+        let i = ref 0 in
+        Array.iter
+          (fun m ->
+            Array.iter
+              (fun d ->
+                if m <> d then begin
+                  out.(!i) <- { attacker = m; dst = d };
+                  incr i
+                end)
+              sd)
+          sa;
+        out
 
-let pair_bounds g policy dep { attacker; dst } =
+let pair_bounds ?ws g policy dep { attacker; dst } =
   let outcome =
-    Routing.Engine.compute g policy dep ~dst ~attacker:(Some attacker)
+    Routing.Engine.compute ?ws g policy dep ~dst ~attacker:(Some attacker)
   in
   to_bounds (happy outcome)
 
-let h_metric ?progress ?(domains = 1) g policy dep pairs =
+let h_metric ?progress ?pool ?(domains = 1) g policy dep pairs =
   let total = Array.length pairs in
   if total = 0 then { lb = 0.; ub = 0. }
   else begin
+    let use_pool =
+      match pool with
+      | Some p -> Parallel.Pool.size p > 1
+      | None -> domains > 1
+    in
     let per_pair =
-      if domains > 1 then
-        Parallel.map ~domains (pair_bounds g policy dep) pairs
-      else
+      if use_pool then
+        (* Each domain (pool worker or caller) reuses its own private
+           engine workspace across the pairs it steals. *)
+        Parallel.map ?pool ~domains
+          (fun p ->
+            pair_bounds ~ws:(Routing.Engine.Workspace.local ()) g policy dep p)
+          pairs
+      else begin
+        let ws = Routing.Engine.Workspace.local () in
         Array.mapi
           (fun i p ->
-            let b = pair_bounds g policy dep p in
+            let b = pair_bounds ~ws g policy dep p in
             (match progress with Some f -> f (i + 1) total | None -> ());
             b)
           pairs
+      end
     in
     let lb = ref 0. and ub = ref 0. in
     Array.iter
@@ -104,11 +141,11 @@ let h_metric ?progress ?(domains = 1) g policy dep pairs =
     { lb = !lb /. float_of_int total; ub = !ub /. float_of_int total }
   end
 
-let h_metric_per_dst g policy dep ~attackers ~dst =
+let h_metric_per_dst ?pool g policy dep ~attackers ~dst =
   let ps =
     Array.to_list attackers
     |> List.filter_map (fun m ->
            if m = dst then None else Some { attacker = m; dst })
     |> Array.of_list
   in
-  h_metric g policy dep ps
+  h_metric ?pool g policy dep ps

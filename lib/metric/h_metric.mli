@@ -51,6 +51,7 @@ val pairs :
 
 val h_metric :
   ?progress:(int -> int -> unit) ->
+  ?pool:Parallel.Pool.t ->
   ?domains:int ->
   Topology.Graph.t ->
   Routing.Policy.t ->
@@ -58,11 +59,16 @@ val h_metric :
   pair array ->
   bounds
 (** [H_{M,D}(S)] estimated over the given attacker-destination pairs.
-    [domains > 1] fans the pairs out over that many OCaml domains (the
-    pairs are independent and the graph is read-only); [progress] is only
-    invoked in the sequential case. *)
+    [pool] fans the pairs out over a persistent worker pool; otherwise
+    [domains > 1] borrows the default pool (the pairs are independent and
+    the graph is read-only).  Every domain — including the sequential
+    path — reuses its private {!Routing.Engine.Workspace}, and the
+    per-pair results are reduced in input order, so the value is
+    bit-identical whatever the parallelism.  [progress] is only invoked
+    in the sequential case. *)
 
 val h_metric_per_dst :
+  ?pool:Parallel.Pool.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->

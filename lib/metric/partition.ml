@@ -111,10 +111,10 @@ let bucket_of ~k out v =
     | Routing.Policy.Provider -> B_prov
   end
 
-let sec2_lpk_partition g policy ~k ~attacker ~dst n =
+let sec2_lpk_partition ?ws g policy ~k ~attacker ~dst n =
   if k > 60 then failwith "Partition: Lp_k with k > 60 unsupported";
   let base =
-    Routing.Engine.compute g policy (Deployment.empty n) ~dst
+    Routing.Engine.compute ?ws g policy (Deployment.empty n) ~dst
       ~attacker:(Some attacker)
   in
   let bucket =
@@ -226,12 +226,12 @@ let sec2_lpk_partition g policy ~k ~attacker ~dst n =
       if v = attacker || v = dst then Unreachable
       else classify ~d_ok:avail_d.(v) ~m_ok:avail_m.(v))
 
-let compute g policy ~attacker ~dst =
+let compute ?ws g policy ~attacker ~dst =
   let n = Topology.Graph.n g in
   match (policy : Routing.Policy.t).model with
   | Security_third ->
       let out =
-        Routing.Engine.compute g policy (Deployment.empty n) ~dst
+        Routing.Engine.compute ?ws g policy (Deployment.empty n) ~dst
           ~attacker:(Some attacker)
       in
       sec3_partition g policy ~attacker ~dst out
@@ -239,7 +239,7 @@ let compute g policy ~attacker ~dst =
   | Security_second -> (
       match (policy : Routing.Policy.t).lp with
       | Standard -> sec2_standard_partition g ~attacker ~dst n
-      | Lp_k k -> sec2_lpk_partition g policy ~k ~attacker ~dst n)
+      | Lp_k k -> sec2_lpk_partition ?ws g policy ~k ~attacker ~dst n)
 
 let count_of_classes classes skip =
   let c = ref zero in
@@ -259,12 +259,12 @@ let count_of_classes classes skip =
     classes;
   !c
 
-let count g policy ~attacker ~dst =
-  let classes = compute g policy ~attacker ~dst in
+let count ?ws g policy ~attacker ~dst =
+  let classes = compute ?ws g policy ~attacker ~dst in
   count_of_classes classes (fun v -> v = attacker || v = dst)
 
-let count_among g policy ~attacker ~dst ~sources =
-  let classes = compute g policy ~attacker ~dst in
+let count_among ?ws g policy ~attacker ~dst ~sources =
+  let classes = compute ?ws g policy ~attacker ~dst in
   let keep = Hashtbl.create (Array.length sources) in
   Array.iter (fun v -> Hashtbl.replace keep v ()) sources;
   count_of_classes classes (fun v ->

@@ -56,16 +56,28 @@ val fractions : counts -> float * float * float
 (** (doomed+unreachable, protectable, immune) as fractions of sources. *)
 
 val compute :
-  Topology.Graph.t -> Routing.Policy.t -> attacker:int -> dst:int -> cls array
+  ?ws:Routing.Engine.Workspace.t ->
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  attacker:int ->
+  dst:int ->
+  cls array
 (** Per-source classification; the attacker's and destination's own slots
     are [Unreachable] and must be ignored by callers.  LPk policies under
     security 2nd require an acyclic customer-provider hierarchy and raise
-    [Failure] otherwise. *)
+    [Failure] otherwise.  [ws] reuses the given engine workspace for the
+    internal baseline computation (see {!Routing.Engine.compute}). *)
 
 val count :
-  Topology.Graph.t -> Routing.Policy.t -> attacker:int -> dst:int -> counts
+  ?ws:Routing.Engine.Workspace.t ->
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  attacker:int ->
+  dst:int ->
+  counts
 
 val count_among :
+  ?ws:Routing.Engine.Workspace.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   attacker:int ->

@@ -3,20 +3,64 @@
     The paper parallelized its simulations over destinations with MPI on
     BlueGene/Blacklight (Appendix H); we use OCaml 5 domains.  Work items
     must be independent and the worker function must not share mutable
-    state across items (each of our routing computations allocates its own
-    state, and reads the topology immutably). *)
+    state across items (each routing computation owns its per-domain
+    workspace, and reads the topology immutably).
+
+    Two layers:
+
+    - {!Pool}: a persistent pool of long-lived worker domains fed by an
+      atomic chunk index (work stealing).  Spawning a domain costs far
+      more than one routing computation, so the experiment suite creates
+      one pool and reuses it for every [map].
+    - {!map} / {!map_reduce}: convenience wrappers that borrow the
+      lazily-created default pool (sized by [SBGP_DOMAINS]). *)
 
 val default_domains : unit -> int
 (** [SBGP_DOMAINS] from the environment if set, otherwise the runtime's
     recommended domain count. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map f items] applies [f] to every item, splitting the array into
-    contiguous chunks across domains.  With [domains <= 1] this is a plain
-    sequential map (no domains are spawned).  The first worker exception,
-    if any, is re-raised. *)
+module Pool : sig
+  type t
+
+  val create : ?domains:int -> unit -> t
+  (** [create ~domains ()] spawns [domains - 1] worker domains (the
+      caller participates in every [map], for [domains] total).  Defaults
+      to {!default_domains}.  A pool of size 1 spawns nothing and maps
+      sequentially. *)
+
+  val size : t -> int
+  (** Total domains applied to a job, including the calling one. *)
+
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  (** [map pool f items] applies [f] to every item across the pool's
+      domains.  Results are returned in input order regardless of the
+      execution interleaving, so output is deterministic whenever [f] is.
+      The first worker exception, if any, is re-raised in the caller.
+      Re-entrant calls (a [map] from inside a worker function) degrade to
+      a sequential map instead of deadlocking. *)
+
+  val shutdown : t -> unit
+  (** Join all worker domains.  Subsequent [map]s run sequentially. *)
+end
+
+val default_pool : unit -> Pool.t
+(** The process-wide pool, created on first use with {!default_domains}
+    domains and shut down automatically at exit. *)
+
+val map : ?pool:Pool.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f items] applies [f] to every item.  With [~pool] the work runs
+    on that pool; otherwise [domains] (default {!default_domains})
+    decides: [<= 1] maps sequentially in the calling domain, [> 1] uses
+    the default pool (or a transient pool when the default pool is
+    sequential).  Output order always matches input order. *)
 
 val map_reduce :
-  ?domains:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> 'b -> 'a array -> 'b
+  ?pool:Pool.t ->
+  ?domains:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  'b ->
+  'a array ->
+  'b
 (** Fold the mapped results with [combine] (applied in deterministic
-    left-to-right chunk order, seeded with the given neutral element). *)
+    left-to-right order, seeded with the given neutral element). *)

@@ -21,6 +21,7 @@ let push q ~rank item =
   q.size <- q.size + 1
 
 let is_empty q = q.size = 0
+let capacity q = Array.length q.buckets
 
 let rec pop q =
   if q.size = 0 then None

@@ -24,5 +24,10 @@ val pop : t -> (int * int) option
 
 val is_empty : t -> bool
 
+val capacity : t -> int
+(** The [max_rank] the queue was created with.  Reusers (e.g. the routing
+    engine's workspace) check this before {!clear}ing a queue for a
+    computation with a different rank bound. *)
+
 val clear : t -> unit
 (** [clear q] empties the queue and resets the cursor, allowing reuse. *)

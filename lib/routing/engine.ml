@@ -25,12 +25,75 @@ let cand_create n =
     parent = Array.make n (-1);
   }
 
+module Workspace = struct
+  (* A candidate slot is live only when [stamp.(v) = epoch]; bumping the
+     epoch invalidates every slot at once, so reuse costs O(1) instead of
+     re-filling ~7 size-n arrays per (attacker, destination) pair.  The
+     bucket queue and the outcome record are recycled in place (the queue
+     is empty after a completed drain, the outcome is reset by filling,
+     which is cheap relative to allocating + collecting it). *)
+  type t = {
+    mutable cap : int;
+    mutable epoch : int;
+    mutable stamp : int array; (* slot live iff stamp.(v) = epoch *)
+    mutable cand : cand;
+    mutable queue : Prelude.Bucket_queue.t option;
+    mutable outcome : Outcome.t option;
+  }
+
+  let create cap =
+    if cap < 0 then invalid_arg "Engine.Workspace.create: negative size";
+    {
+      cap;
+      epoch = 0;
+      stamp = Array.make cap (-1);
+      cand = cand_create cap;
+      queue = None;
+      outcome = None;
+    }
+
+  let key = Domain.DLS.new_key (fun () -> create 0)
+  let local () = Domain.DLS.get key
+
+  let grow t n =
+    if t.cap < n then begin
+      t.cap <- n;
+      t.stamp <- Array.make n (-1);
+      t.cand <- cand_create n
+    end
+
+  (* Check out the buffers for one computation of size [n] with the given
+     rank bound.  Invalidates the outcome of the previous computation
+     that used this workspace. *)
+  let checkout t ~n ~max_rank ~dst ~attacker =
+    grow t n;
+    t.epoch <- t.epoch + 1;
+    let queue =
+      match t.queue with
+      | Some q when Prelude.Bucket_queue.capacity q >= max_rank ->
+          Prelude.Bucket_queue.clear q;
+          q
+      | Some _ | None ->
+          let q = Prelude.Bucket_queue.create ~max_rank in
+          t.queue <- Some q;
+          q
+    in
+    let outcome =
+      match t.outcome with
+      | Some o -> Outcome.reset o ~n ~dst ~attacker
+      | None -> Outcome.create ~n ~dst ~attacker
+    in
+    t.outcome <- Some outcome;
+    (t.cand, t.stamp, t.epoch, queue, outcome)
+end
+
 let cls_of_code = function
   | 0 -> Policy.Customer
   | 1 -> Policy.Peer
   | _ -> Policy.Provider
 
-let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) g policy dep ~dst ~attacker =
+let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
+    ~attacker =
   if attacker_claim < 0 then
     invalid_arg "Engine.compute: attacker_claim < 0";
   let n = Topology.Graph.n g in
@@ -45,18 +108,33 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) g policy dep ~dst ~attack
       if m = dst then invalid_arg "Engine.compute: attacker = dst"
   | None -> ());
   let max_len = n + 1 in
-  let outcome = Outcome.create ~n ~dst ~attacker in
-  let cand = cand_create n in
-  let queue = Prelude.Bucket_queue.create ~max_rank:(Policy.max_rank policy ~max_len) in
+  let max_rank = Policy.max_rank policy ~max_len in
+  let cand, stamp, epoch, queue, outcome =
+    match ws with
+    | Some ws -> Workspace.checkout ws ~n ~max_rank ~dst ~attacker
+    | None ->
+        (* Fresh buffers: [cand_create]'s sentinel values are exactly the
+           "no live candidate" state, so a zero stamp with epoch 0 is
+           consistent. *)
+        ( cand_create n,
+          Array.make n 0,
+          0,
+          Prelude.Bucket_queue.create ~max_rank,
+          Outcome.create ~n ~dst ~attacker )
+  in
   let bool_get b v = Bytes.unsafe_get b v <> '\000' in
   let bool_set b v x = Bytes.unsafe_set b v (if x then '\001' else '\000') in
+  (* Rank of the best live candidate at [w], max_int when none. *)
+  let cand_rank w = if stamp.(w) = epoch then cand.rank.(w) else max_int in
   (* Offer the route abstraction (cls, len, secure, flags) to AS [w] via
      next hop [u]. *)
   let relax w ~cls_code ~len ~secure ~to_d ~to_m ~parent =
     if not (Outcome.is_fixed outcome w) && len <= max_len then begin
       let cls = cls_of_code cls_code in
       let r = Policy.rank policy ~max_len cls ~len ~secure in
-      if r < cand.rank.(w) then begin
+      let cur = cand_rank w in
+      if r < cur then begin
+        stamp.(w) <- epoch;
         cand.rank.(w) <- r;
         cand.cls.(w) <- cls_code;
         cand.len.(w) <- len;
@@ -66,7 +144,7 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) g policy dep ~dst ~attack
         cand.parent.(w) <- parent;
         Prelude.Bucket_queue.push queue ~rank:r w
       end
-      else if r = cand.rank.(w) then begin
+      else if r = cur then begin
         match tiebreak with
         | Bounds ->
             (* Same rank implies same class/length/security; accumulate
@@ -123,7 +201,7 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) g policy dep ~dst ~attack
     | None -> ()
     | Some (rank, v) ->
         if not (Outcome.is_fixed outcome v) then begin
-          assert (rank = cand.rank.(v));
+          assert (stamp.(v) = epoch && rank = cand.rank.(v));
           let cls_code = cand.cls.(v) in
           let len = cand.len.(v) in
           let secure = bool_get cand.secure v in

@@ -26,9 +26,37 @@ type tiebreak =
           next hop has the smallest AS number.  Used for cross-validation
           with the dynamic simulator. *)
 
+module Workspace : sig
+  (** Reusable scratch buffers for {!compute}.
+
+      One stable-state computation needs ~7 size-n candidate arrays, a
+      bucket queue sized by the policy's rank bound, and the outcome
+      record itself.  The experiment suite runs thousands of independent
+      computations over the same graph, so allocating these per call
+      dominates the small-instance runtime.  A workspace owns all of them
+      and revalidates the candidate arrays with an epoch stamp (O(1) per
+      reuse) instead of re-filling.
+
+      A workspace is {e not} thread-safe: use one per domain.  {!local}
+      returns the calling domain's private workspace, which is what pool
+      workers use. *)
+
+  type t
+
+  val create : int -> t
+  (** [create n] preallocates for graphs of up to [n] ASes; the buffers
+      grow automatically if a larger graph is computed. *)
+
+  val local : unit -> t
+  (** The calling domain's lazily-created private workspace (domain-local
+      storage).  Safe to use from any domain, including pool workers —
+      each domain gets its own. *)
+end
+
 val compute :
   ?tiebreak:tiebreak ->
   ?attacker_claim:int ->
+  ?ws:Workspace.t ->
   Topology.Graph.t ->
   Policy.t ->
   Deployment.t ->
@@ -44,6 +72,13 @@ val compute :
     unauthorized origination of the victim's prefix (a classic prefix
     hijack, only meaningful when origin authentication is absent); larger
     values model longer fabricated paths "m x .. d".
+
+    [ws] reuses the given workspace's buffers instead of allocating.
+    The returned outcome is then owned by the workspace: it stays valid
+    only until the next [compute] with the same workspace.  Callers that
+    keep outcomes around (or compare two of them) must either use
+    distinct workspaces or omit [ws].  Results are bit-identical with and
+    without [ws].
 
     Raises [Invalid_argument] if [attacker = Some dst], ids are out of
     range, or [attacker_claim < 0]. *)

@@ -1,7 +1,9 @@
 type t = {
-  dst : int;
-  attacker : int option;
-  n : int;
+  mutable dst : int;
+  mutable attacker : int option;
+  mutable n : int;
+  (* Arrays may be longer than [n] when the record is recycled by
+     [reset]; only the first [n] slots are meaningful. *)
   length : int array;
   (* Route class packed as an int to keep the record flat: 0 customer,
      1 peer, 2 provider, 3 origin/attacker, -1 unreached. *)
@@ -28,6 +30,21 @@ let create ~n ~dst ~attacker =
     to_m = Array.make n false;
     parent = Array.make n (-1);
   }
+
+let reset t ~n ~dst ~attacker =
+  if Array.length t.length < n then create ~n ~dst ~attacker
+  else begin
+    t.dst <- dst;
+    t.attacker <- attacker;
+    t.n <- n;
+    Array.fill t.length 0 n (-1);
+    Array.fill t.cls 0 n (-1);
+    Array.fill t.secure 0 n false;
+    Array.fill t.to_d 0 n false;
+    Array.fill t.to_m 0 n false;
+    Array.fill t.parent 0 n (-1);
+    t
+  end
 
 let reached t v = t.length.(v) >= 0
 let is_fixed = reached

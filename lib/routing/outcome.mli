@@ -61,6 +61,13 @@ val path : t -> int -> int list
 
 val create : n:int -> dst:int -> attacker:int option -> t
 
+val reset : t -> n:int -> dst:int -> attacker:int option -> t
+(** Recycle the buffers of [t] for a new computation: every AS becomes
+    unreached and the destination/attacker are re-pointed.  Returns [t]
+    itself when its buffers are large enough, a fresh record otherwise.
+    Used by {!Engine.Workspace} reuse — the previous outcome produced
+    from the same workspace is invalidated. *)
+
 val fix :
   t ->
   int ->

@@ -92,7 +92,7 @@ let of_edges ~n edge_list =
           add_peer b a)
     tbl;
   (* Sort adjacency for determinism (hash iteration order is arbitrary). *)
-  let sort_all arrs = Array.iter (fun a -> Array.sort compare a) arrs in
+  let sort_all arrs = Array.iter (fun a -> Array.sort Int.compare a) arrs in
   sort_all customers;
   sort_all providers;
   sort_all peers;
