@@ -147,12 +147,30 @@ let exp_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Write each experiment's output to DIR/<id>.txt instead of stdout.")
   in
-  let run n seed ixp scale domains graph_file out_dir which =
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Self-audit the context with the invariant checker (see `sbgp \
+             check`) before running anything, and abort on errors.  Also \
+             enabled by SBGP_CHECK=1 in the environment.")
+  in
+  let run n seed ixp scale domains graph_file out_dir check which =
     (match out_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
     let ctx = context n seed ixp scale domains graph_file in
     Printf.printf "context: %s\n\n%!" (Core.Experiments.Context.describe ctx);
+    if check || Core.Check.enabled () then begin
+      let report = Core.Experiments.Context.self_audit ctx in
+      print_string (Core.Check.Diagnostic.summary report);
+      print_newline ();
+      if not (Core.Check.Diagnostic.ok report) then begin
+        prerr_endline "sbgp: self-audit found errors; aborting run";
+        exit 1
+      end
+    end;
     let entries =
       match which with
       | [] -> Core.Experiments.Registry.all
@@ -174,7 +192,102 @@ let exp_cmd =
        ~doc:"Run one or more experiments (all of them by default).")
     Term.(
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
-      $ graph_arg $ out_dir $ which)
+      $ graph_arg $ out_dir $ check_flag $ which)
+
+let check_cmd =
+  let pairs_arg =
+    Arg.(
+      value
+      & opt int Core.Check.default_options.Core.Check.pairs
+      & info [ "pairs" ] ~docv:"K"
+          ~doc:
+            "Number of sampled (destination, attacker) pairs for the \
+             routing-state verifier (scaled by --scale).")
+  in
+  let det_pairs_arg =
+    Arg.(
+      value
+      & opt int Core.Check.default_options.Core.Check.det_pairs
+      & info [ "det-pairs" ] ~docv:"K"
+          ~doc:
+            "Number of pairs replayed by the parallel-determinism \
+             analyzer (scaled by --scale).")
+  in
+  let claim_arg =
+    Arg.(
+      value
+      & opt int Core.Check.default_options.Core.Check.attacker_claim
+      & info [ "claim" ] ~docv:"L"
+          ~doc:"Length of the attacker's bogus path announcement.")
+  in
+  let mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:
+            "Also run the mutant suite: deliberately broken inputs the \
+             checker must flag (guards against false negatives).")
+  in
+  let rules_arg =
+    Arg.(
+      value & flag
+      & info [ "rules" ]
+          ~doc:"List every diagnostic rule id with a description and exit.")
+  in
+  let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
+      rules =
+    if rules then
+      List.iter
+        (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
+        Core.Check.Diagnostic.catalogue
+    else begin
+      let ctx = context n seed ixp scale domains graph_file in
+      Printf.printf "context: %s\n%!" (Core.Experiments.Context.describe ctx);
+      let scaled = Core.Experiments.Context.scaled ctx in
+      let options =
+        {
+          Core.Check.default_options with
+          Core.Check.seed;
+          pairs = scaled pairs;
+          det_pairs = scaled det_pairs;
+          attacker_claim = claim;
+        }
+      in
+      (* With --ixp on a generated graph, the pre-augmentation base is
+         reproducible from the seed; hand it to the lint pass so the
+         augmentation itself is checked too. *)
+      let base =
+        if ixp && graph_file = None then
+          Some
+            (Core.Topogen.generate
+               ~params:(Core.Topogen.default_params ~n)
+               (Core.Rng.create seed))
+            |> Option.map (fun r -> r.Core.Topogen.graph)
+        else None
+      in
+      let report =
+        Core.Check.run ~options
+          ~tiers:ctx.Core.Experiments.Context.tiers ?base
+          ctx.Core.Experiments.Context.graph
+      in
+      let report =
+        if mutants then
+          Core.Check.Diagnostic.merge report (Core.Check.Mutants.report ())
+        else report
+      in
+      print_string (Core.Check.Diagnostic.summary report);
+      if not (Core.Check.Diagnostic.ok report) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check the topology, routing invariants and parallel determinism \
+          (structured diagnostics; exit 1 on errors).")
+    Term.(
+      const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
+      $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
+      $ rules_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =
@@ -196,6 +309,6 @@ let main =
        ~doc:
          "Reproduction of 'BGP Security in Partial Deployment: Is the \
           Juice Worth the Squeeze?' (SIGCOMM 2013).")
-    [ gen_cmd; list_cmd; exp_cmd; info_cmd ]
+    [ gen_cmd; list_cmd; exp_cmd; check_cmd; info_cmd ]
 
 let () = exit (Cmd.eval main)

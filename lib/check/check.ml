@@ -1,0 +1,158 @@
+module Diagnostic = Diagnostic
+module Lint = Lint
+module Verify = Verify
+module Determinism = Determinism
+module Mutants = Mutants
+module D = Diagnostic
+module G = Topology.Graph
+module P = Routing.Policy
+module E = Routing.Engine
+
+let sec1 = P.make P.Security_first
+let sec3 = P.make P.Security_third
+
+type options = {
+  pairs : int;
+  det_pairs : int;
+  policies : P.t list;
+  attacker_claim : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    pairs = 12;
+    det_pairs = 6;
+    policies =
+      [ sec1; P.make P.Security_second; sec3 ];
+    attacker_claim = 1;
+    seed = 42;
+  }
+
+let enabled () =
+  match Sys.getenv_opt "SBGP_CHECK" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+(* Deterministic mixed deployments exercising every mode; the sparse one
+   is a pointwise subset of the mixed one, as the monotonicity theorem
+   requires. *)
+let dep_sparse n =
+  Deployment.of_modes
+    (Array.init n (fun v ->
+         if v mod 5 = 0 then Deployment.Full else Deployment.Off))
+
+let dep_mixed n =
+  Deployment.of_modes
+    (Array.init n (fun v ->
+         match v mod 5 with
+         | 0 | 1 -> Deployment.Full
+         | 2 -> Deployment.Simplex
+         | _ -> Deployment.Off))
+
+(* Mix attacked and attacker-free pairs; a collision falls back to
+   attacker-free rather than resampling, keeping the draw count fixed. *)
+let sample_pairs rng n k =
+  Array.init k (fun i ->
+      let dst = Rng.int rng n in
+      if i mod 3 = 2 || n < 2 then (dst, None)
+      else
+        let m = Rng.int rng n in
+        if m = dst then (dst, None) else (dst, Some m))
+
+let verify_pass options ?deployments g =
+  let n = G.n g in
+  let rng = Rng.create options.seed in
+  let deps =
+    match deployments with
+    | Some l -> l
+    | None -> [ Deployment.empty n; dep_mixed n ]
+  in
+  let pairs = sample_pairs rng n options.pairs in
+  let items = ref 0 in
+  let diags = ref [] in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun dep ->
+          Array.iter
+            (fun (dst, attacker) ->
+              List.iter
+                (fun tiebreak ->
+                  let out =
+                    E.compute ~tiebreak ~attacker_claim:options.attacker_claim
+                      g policy dep ~dst ~attacker
+                  in
+                  incr items;
+                  diags :=
+                    !diags
+                    @ Verify.outcome ~tiebreak
+                        ~attacker_claim:options.attacker_claim g policy dep
+                        out)
+                [ E.Bounds; E.Lowest_next_hop ])
+            pairs)
+        deps)
+    options.policies;
+  (!items, !diags)
+
+let theorem_pass options g =
+  let n = G.n g in
+  let rng = Rng.create (options.seed + 1) in
+  let sub_dep = dep_sparse n in
+  let super_dep = dep_mixed n in
+  let k = max 1 (options.pairs / 2) in
+  let items = ref 0 in
+  let diags = ref [] in
+  if n >= 2 then
+    for _ = 1 to k do
+      let dst = Rng.int rng n in
+      let m = (dst + 1 + Rng.int rng (n - 1)) mod n in
+      (* Theorem 3.1: security 1st never downgrades. *)
+      let normal = E.compute g sec1 super_dep ~dst ~attacker:None in
+      let attacked =
+        E.compute ~attacker_claim:options.attacker_claim g sec1 super_dep
+          ~dst ~attacker:(Some m)
+      in
+      diags := !diags @ Verify.no_downgrade_sec1 ~normal ~attacked;
+      (* Theorem 6.1: security 3rd is monotone in the deployment. *)
+      let sub =
+        E.compute ~attacker_claim:options.attacker_claim g sec3 sub_dep ~dst
+          ~attacker:(Some m)
+      in
+      let super =
+        E.compute ~attacker_claim:options.attacker_claim g sec3 super_dep
+          ~dst ~attacker:(Some m)
+      in
+      diags := !diags @ Verify.sec3_monotone ~sub ~super;
+      items := !items + 2
+    done;
+  (!items, !diags)
+
+let determinism_pass options g =
+  let n = G.n g in
+  let rng = Rng.create (options.seed + 2) in
+  let pairs = sample_pairs rng n options.det_pairs in
+  let configs = Determinism.default_configs () in
+  let diags =
+    Determinism.analyze ~attacker_claim:options.attacker_claim ~configs g
+      sec3 (dep_mixed n) pairs
+  in
+  (Array.length pairs * List.length configs, diags)
+
+let run ?(options = default_options) ?tiers ?base ?deployments g =
+  let n = G.n g in
+  let report = D.empty_report in
+  let lint =
+    Lint.graph ?tiers g
+    @ match base with None -> [] | Some b -> Lint.ixp ~base:b ~augmented:g
+  in
+  let report = D.add_pass report "lint" ~items:n lint in
+  if n = 0 then report
+  else begin
+    let vitems, vdiags = verify_pass options ?deployments g in
+    let report = D.add_pass report "verify" ~items:vitems vdiags in
+    let titems, tdiags = theorem_pass options g in
+    let report = D.add_pass report "theorems" ~items:titems tdiags in
+    let ditems, ddiags = determinism_pass options g in
+    D.add_pass report "determinism" ~items:ditems ddiags
+  end

@@ -1,0 +1,57 @@
+(** Static and dynamic invariant checking for the simulation pipeline
+    ([sbgp check]).
+
+    Three passes over a topology (DESIGN.md §8):
+
+    + {b lint} ({!Lint}) — structural well-formedness of the AS graph,
+      its tier classification and its IXP augmentation;
+    + {b verify} ({!Verify}) — stable states recomputed by the engine
+      are re-derived from first principles and checked for optimality,
+      export compliance, tiebreak semantics, secure-path containment and
+      realizability, plus the paper's Theorem 3.1 / 6.1 assertions;
+    + {b determinism} ({!Determinism}) — the same batch replayed across
+      domain counts and workspace-reuse settings must be bit-identical
+      to the sequential fresh-buffer baseline.
+
+    All diagnostics are structured ({!Diagnostic}): rule id, severity,
+    offending ASes, message — the checker reports everything it finds
+    rather than failing on the first problem.  {!Mutants} holds the
+    suite of deliberately planted bugs that the checker must flag; it
+    guards the checker itself against false-negative regressions. *)
+
+module Diagnostic = Diagnostic
+module Lint = Lint
+module Verify = Verify
+module Determinism = Determinism
+module Mutants = Mutants
+
+type options = {
+  pairs : int;  (** sampled (destination, attacker) pairs for verify *)
+  det_pairs : int;  (** pairs replayed by the determinism pass *)
+  policies : Routing.Policy.t list;  (** security models to verify under *)
+  attacker_claim : int;  (** bogus path length of the "m d" announcement *)
+  seed : int;  (** sampling seed; same seed, same pairs *)
+}
+
+val default_options : options
+(** 12 verify pairs, 6 determinism pairs, all three standard security
+    models, claim 1, seed 42. *)
+
+val enabled : unit -> bool
+(** [SBGP_CHECK] is set to [1]/[true]/[yes] in the environment — the
+    experiment runners consult this to self-audit before running. *)
+
+val run :
+  ?options:options ->
+  ?tiers:Topology.Tiers.t ->
+  ?base:Topology.Graph.t ->
+  ?deployments:Deployment.t list ->
+  Topology.Graph.t ->
+  Diagnostic.report
+(** Run every pass on the graph.  [tiers] extends the lint pass with
+    Table-1 checks; [base] marks the graph as an IXP augmentation of
+    [base] and checks that too; [deployments] overrides the deterministic
+    built-in scenarios of the verify pass.  The theorem and determinism
+    passes derive their own deployments (a sparse subset of a mixed one,
+    as Theorem 6.1 needs).  [Diagnostic.ok] on the result decides
+    clean/broken; passes record how many items they covered. *)

@@ -1,0 +1,111 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  subjects : int list;
+  message : string;
+}
+
+let make ~rule severity ?(subjects = []) message =
+  { rule; severity; subjects; message }
+
+let error ~rule ?subjects message = make ~rule Error ?subjects message
+let warning ~rule ?subjects message = make ~rule Warning ?subjects message
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let to_string d =
+  let subjects =
+    match d.subjects with
+    | [] -> ""
+    | vs ->
+        Printf.sprintf " [AS %s]"
+          (String.concat ", " (List.map string_of_int vs))
+  in
+  Printf.sprintf "%s %s%s: %s" (severity_name d.severity) d.rule subjects
+    d.message
+
+let has_rule diags rule = List.exists (fun d -> String.equal d.rule rule) diags
+
+type report = { passes : (string * int) list; diags : t list }
+
+let empty_report = { passes = []; diags = [] }
+
+let merge a b = { passes = a.passes @ b.passes; diags = a.diags @ b.diags }
+
+let add_pass r name ~items diags =
+  { passes = r.passes @ [ (name, items) ]; diags = r.diags @ diags }
+
+let errors r = List.filter (fun d -> d.severity = Error) r.diags
+let ok r = errors r = []
+
+let summary r =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, items) ->
+      Buffer.add_string buf (Printf.sprintf "pass %-12s %d items\n" name items))
+    r.passes;
+  List.iter
+    (fun d -> Buffer.add_string buf (to_string d ^ "\n"))
+    r.diags;
+  let n_err = List.length (errors r) in
+  let n_all = List.length r.diags in
+  Buffer.add_string buf
+    (if n_all = 0 then "check: clean (no diagnostics)\n"
+     else
+       Printf.sprintf "check: %d diagnostic%s (%d error%s)\n" n_all
+         (if n_all = 1 then "" else "s")
+         n_err
+         (if n_err = 1 then "" else "s"));
+  Buffer.contents buf
+
+let catalogue =
+  [
+    ("topo/out-of-range", "edge endpoint outside [0, n)");
+    ("topo/self-loop", "an AS is adjacent to itself");
+    ("topo/duplicate-edge", "the same neighbor appears twice in one table");
+    ( "topo/relationship-conflict",
+      "an AS pair carries two different business relationships" );
+    ( "topo/asymmetric",
+      "adjacency tables disagree (u lists v but v does not list u back)" );
+    ( "topo/unsorted",
+      "a neighbor table is not sorted ascending (iteration-order hazard)" );
+    ("topo/counts", "cached edge counts disagree with the adjacency tables");
+    ("topo/cp-cycle", "the customer-to-provider digraph has a cycle");
+    ("topo/disconnected", "the underlying undirected graph is disconnected");
+    ( "topo/tier",
+      "a tier assignment contradicts the Table-1 degree structure" );
+    ( "topo/ixp",
+      "IXP augmentation altered or dropped an edge, or added a non-peer \
+       edge" );
+    ("route/shape", "outcome size or roots disagree with the inputs");
+    ("route/root", "destination or attacker root record is malformed");
+    ( "route/missed",
+      "an AS with a compliant offer is unreached, or is fixed with none" );
+    ( "route/consistency",
+      "recorded class/length/security disagree with the parent's route" );
+    ( "route/suboptimal",
+      "a strictly better export-compliant route was available" );
+    ("route/export", "the chosen route violates the export policy Ex");
+    ( "route/tiebreak",
+      "to-d/to-m flags or representative next hop disagree with the \
+       tiebreak semantics" );
+    ( "route/secure",
+      "a route is marked secure outside S, or a secure route leaves S / \
+       passes the attacker" );
+    ("route/path", "the parent chain does not realize the recorded route");
+    ( "thm/sec1-downgrade",
+      "a protocol downgrade occurred under security 1st (Theorem 3.1)" );
+    ( "thm/sec3-monotone",
+      "happiness decreased when the deployment grew under security 3rd \
+       (Theorem 6.1)" );
+    ( "det/divergence",
+      "a (domains, workspace) configuration diverged from the sequential \
+       fresh-buffer baseline" );
+    ( "check/false-negative",
+      "a mutant with a planted bug was not flagged by the checker" );
+  ]

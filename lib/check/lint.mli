@@ -1,0 +1,37 @@
+(** Topology / configuration linter — pass 1 of [sbgp check].
+
+    Validates an AS graph (and optionally its tier classification) before
+    any simulation runs on it.  Unlike {!Topology.Graph.of_edges}, which
+    raises on the first malformed edge, the linter examines everything and
+    returns one structured diagnostic per violated invariant, so a bad
+    input file yields a complete report rather than a stack trace.
+
+    Checks, with their rule ids:
+    - raw edge lists ({!edges}): out-of-range endpoints
+      ([topo/out-of-range]), self loops ([topo/self-loop]), duplicate
+      edges ([topo/duplicate-edge]), conflicting relationships for a pair
+      ([topo/relationship-conflict]);
+    - built graphs ({!graph}): adjacency self loops and duplicates,
+      table symmetry ([topo/asymmetric]), sortedness ([topo/unsorted],
+      warning), cached edge counts ([topo/counts]), customer-to-provider
+      acyclicity with the offending ASes ([topo/cp-cycle]), connectivity
+      ([topo/disconnected], warning);
+    - tier tables (via [?tiers]): every Table-1 degree constraint the
+      classification guarantees — T1 providerless, T2/T3 with providers,
+      small CPs peering, stubs customerless, stubs-x peering, SMDG with
+      customers — plus membership/partition consistency ([topo/tier]);
+    - IXP augmentation ({!ixp}): the augmented graph must preserve every
+      original edge and relationship and add peer edges only
+      ([topo/ixp]). *)
+
+val edges : n:int -> Topology.Graph.edge list -> Diagnostic.t list
+(** Lint a raw edge list before graph construction.  An empty result
+    guarantees {!Topology.Graph.of_edges} will not raise on it. *)
+
+val graph :
+  ?tiers:Topology.Tiers.t -> Topology.Graph.t -> Diagnostic.t list
+(** Lint a built graph, and its tier classification when given. *)
+
+val ixp :
+  base:Topology.Graph.t -> augmented:Topology.Graph.t -> Diagnostic.t list
+(** Check that [augmented] is a well-formed IXP augmentation of [base]. *)

@@ -1,0 +1,393 @@
+module G = Topology.Graph
+module P = Routing.Policy
+module O = Routing.Outcome
+module D = Diagnostic
+
+(* An offer as the engine's [expand] would construct it: the route
+   abstraction AS [v] perceives when neighbor [u] announces its fixed
+   route. *)
+type offer = {
+  o_from : int;
+  o_cls : P.route_class;
+  o_len : int;
+  o_secure : bool;
+  o_to_d : bool;
+  o_to_m : bool;
+}
+
+let is_root out v =
+  v = O.dst out || O.attacker out = Some v
+
+(* Neighbors of [v] with the route class [v] would perceive. *)
+let neighbor_classes g v =
+  let acc = ref [] in
+  Array.iter (fun u -> acc := (u, P.Customer) :: !acc) (G.customers g v);
+  Array.iter (fun u -> acc := (u, P.Peer) :: !acc) (G.peers g v);
+  Array.iter (fun u -> acc := (u, P.Provider) :: !acc) (G.providers g v);
+  !acc
+
+(* Export policy Ex: [u] announces its route to [v] iff [u] is a root
+   (the destination and the attacker announce to all their neighbors),
+   [u]'s chosen route is a customer route (announced to everyone), or
+   [v] is a customer of [u] (every route is announced to customers —
+   i.e. [u] is a provider of [v], [cls_at_v = Provider]). *)
+let exports out ~u ~cls_at_v =
+  is_root out u
+  || cls_at_v = P.Provider
+  || O.route_class out u = P.Customer
+
+let offers g dep out ~max_len v =
+  List.filter_map
+    (fun (u, cls_at_v) ->
+      if not (O.reached out u) then None
+      else if not (exports out ~u ~cls_at_v) then None
+      else begin
+        let len = O.length out u + 1 in
+        if len > max_len then None
+        else
+          Some
+            {
+              o_from = u;
+              o_cls = cls_at_v;
+              o_len = len;
+              o_secure = O.secure out u && Deployment.is_full dep v;
+              o_to_d = O.to_d out u;
+              o_to_m = O.to_m out u;
+            }
+      end)
+    (neighbor_classes g v)
+
+let triple o = (o.o_cls, o.o_len, o.o_secure)
+
+let pp_triple (c, l, s) =
+  Printf.sprintf "(%s, %d, %s)" (P.class_name c) l
+    (if s then "secure" else "insecure")
+
+(* Root invariants. *)
+let root_diags ?attacker_claim out =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let d = O.dst out in
+  if not (O.reached out d) then
+    emit (D.error ~rule:"route/root" ~subjects:[ d ] "destination unreached")
+  else begin
+    if O.length out d <> 0 then
+      emit
+        (D.error ~rule:"route/root" ~subjects:[ d ]
+           (Printf.sprintf "destination has length %d, expected 0"
+              (O.length out d)));
+    if (not (O.to_d out d)) || O.to_m out d then
+      emit
+        (D.error ~rule:"route/root" ~subjects:[ d ]
+           "destination endpoint flags are not (to-d, not to-m)");
+    if O.next_hop out d <> -1 then
+      emit
+        (D.error ~rule:"route/root" ~subjects:[ d ]
+           "destination has a next hop")
+  end;
+  (match O.attacker out with
+  | None -> ()
+  | Some m ->
+      if not (O.reached out m) then
+        emit (D.error ~rule:"route/root" ~subjects:[ m ] "attacker unreached")
+      else begin
+        (match attacker_claim with
+        | Some claim when O.length out m <> claim ->
+            emit
+              (D.error ~rule:"route/root" ~subjects:[ m ]
+                 (Printf.sprintf
+                    "attacker root claims length %d, expected %d"
+                    (O.length out m) claim))
+        | Some _ | None -> ());
+        if O.secure out m then
+          emit
+            (D.error ~rule:"route/root" ~subjects:[ m ]
+               "attacker's bogus announcement is marked secure");
+        if O.to_d out m || not (O.to_m out m) then
+          emit
+            (D.error ~rule:"route/root" ~subjects:[ m ]
+               "attacker endpoint flags are not (not to-d, to-m)");
+        if O.next_hop out m <> O.dst out then
+          emit
+            (D.error ~rule:"route/root" ~subjects:[ m ]
+               "attacker's bogus next hop is not the destination")
+      end);
+  List.rev !diags
+
+(* Walk the parent chain of [v]; check it is edge-realizable and acyclic,
+   and recompute the perceived length (real hops to the root reached, plus
+   the attacker's claimed length when the chain ends at the attacker). *)
+let path_diags g out ~claim v =
+  let n = O.n out in
+  let d = O.dst out in
+  let m = O.attacker out in
+  let rec walk u hops =
+    if hops > n then Error "parent chain has a cycle"
+    else if u = d then Ok hops
+    else if m = Some u then
+      (* The bogus "m x .. d" suffix contributes the claimed length. *)
+      Ok (hops + claim)
+    else begin
+      let p = O.next_hop out u in
+      if p < 0 || p >= n then Error "parent chain leaves the graph"
+      else if not (O.reached out p) then
+        Error (Printf.sprintf "next hop %d is unreached" p)
+      else if
+        not
+          (Array.exists (fun w -> w = p) (G.customers g u)
+          || Array.exists (fun w -> w = p) (G.peers g u)
+          || Array.exists (fun w -> w = p) (G.providers g u))
+      then Error (Printf.sprintf "next hop %d is not a neighbor of %d" p u)
+      else walk p (hops + 1)
+    end
+  in
+  match walk v 0 with
+  | Error msg -> [ D.error ~rule:"route/path" ~subjects:[ v ] msg ]
+  | Ok len ->
+      if len <> O.length out v then
+        [
+          D.error ~rule:"route/path" ~subjects:[ v ]
+            (Printf.sprintf
+               "parent chain realizes length %d, record says %d" len
+               (O.length out v));
+        ]
+      else []
+
+(* The secure-path containment check: a secure route lies fully inside S
+   (every transit hop Full, the origin signing) and avoids the attacker. *)
+let secure_diags g dep out v =
+  ignore g;
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  if not (Deployment.is_full dep v) then
+    emit
+      (D.error ~rule:"route/secure" ~subjects:[ v ]
+         (Printf.sprintf
+            "AS %d's route is marked secure but the AS does not deploy \
+             full S*BGP"
+            v));
+  if O.to_m out v then
+    emit
+      (D.error ~rule:"route/secure" ~subjects:[ v ]
+         (Printf.sprintf
+            "AS %d's route is marked secure but can lead to the attacker" v));
+  let d = O.dst out in
+  let rec walk u steps =
+    if steps > O.n out then ()
+    else if u = d then begin
+      if not (Deployment.signs_origin dep d) then
+        emit
+          (D.error ~rule:"route/secure" ~subjects:[ v; d ]
+             "secure route to an origin that does not sign")
+    end
+    else begin
+      if O.attacker out = Some u then
+        emit
+          (D.error ~rule:"route/secure" ~subjects:[ v; u ]
+             "secure route passes through the attacker")
+      else if not (Deployment.is_full dep u) then
+        emit
+          (D.error ~rule:"route/secure" ~subjects:[ v; u ]
+             (Printf.sprintf
+                "secure route of AS %d transits AS %d, which is outside S" v
+                u));
+      walk (O.next_hop out u) (steps + 1)
+    end
+  in
+  (* The representative path must itself be secure end to end. *)
+  walk (O.next_hop out v) 0;
+  List.rev !diags
+
+let outcome ?(tiebreak = Routing.Engine.Bounds) ?attacker_claim g policy dep
+    out =
+  let n = G.n g in
+  if O.n out <> n then
+    [
+      D.error ~rule:"route/shape"
+        (Printf.sprintf "outcome covers %d ASes, graph has %d" (O.n out) n);
+    ]
+  else begin
+    let claim =
+      match (attacker_claim, O.attacker out) with
+      | Some c, _ -> c
+      | None, Some m -> O.length out m
+      | None, None -> 1
+    in
+    let max_len = n + 1 in
+    let diags = ref (root_diags ?attacker_claim out) in
+    let emit d = diags := !diags @ [ d ] in
+    let check_chosen v offs =
+      (* The recorded next hop must be a compliant announcer. *)
+      let p = O.next_hop out v in
+      match List.find_opt (fun o -> o.o_from = p) offs with
+      | None ->
+          emit
+            (D.error ~rule:"route/export" ~subjects:[ v; p ]
+               (Printf.sprintf
+                  "AS %d's next hop %d is not an export-compliant neighbor"
+                  v p))
+      | Some via ->
+          let recorded =
+            (O.route_class out v, O.length out v, O.secure out v)
+          in
+          let best =
+            List.fold_left
+              (fun acc o ->
+                if P.compare_routes policy (triple o) (triple acc) < 0 then o
+                else acc)
+              (List.hd offs) (List.tl offs)
+          in
+          let c = P.compare_routes policy recorded (triple best) in
+          if c > 0 then
+            emit
+              (D.error ~rule:"route/suboptimal" ~subjects:[ v ]
+                 (Printf.sprintf "AS %d chose %s but neighbor %d offers %s"
+                    v (pp_triple recorded) best.o_from
+                    (pp_triple (triple best))))
+          else if c < 0 then
+            emit
+              (D.error ~rule:"route/consistency" ~subjects:[ v ]
+                 (Printf.sprintf
+                    "AS %d records %s, better than any offer (best is %s)" v
+                    (pp_triple recorded)
+                    (pp_triple (triple best))))
+          else begin
+            (* Route via the recorded hop must match the record. *)
+            if P.compare_routes policy (triple via) recorded <> 0 then
+              emit
+                (D.error ~rule:"route/consistency" ~subjects:[ v; p ]
+                   (Printf.sprintf
+                      "AS %d records %s but next hop %d offers %s" v
+                      (pp_triple recorded) p
+                      (pp_triple (triple via))));
+            (* Tiebreak semantics over the equally-best offers. *)
+            let best_offs =
+              List.filter
+                (fun o -> P.compare_routes policy (triple o) recorded = 0)
+                offs
+            in
+            let min_hop =
+              List.fold_left (fun acc o -> min acc o.o_from) max_int best_offs
+            in
+            let exp_to_d, exp_to_m =
+              match tiebreak with
+              | Routing.Engine.Bounds ->
+                  ( List.exists (fun o -> o.o_to_d) best_offs,
+                    List.exists (fun o -> o.o_to_m) best_offs )
+              | Routing.Engine.Lowest_next_hop ->
+                  let o = List.find (fun o -> o.o_from = min_hop) best_offs in
+                  (o.o_to_d, o.o_to_m)
+            in
+            if p <> min_hop then
+              emit
+                (D.error ~rule:"route/tiebreak" ~subjects:[ v; p ]
+                   (Printf.sprintf
+                      "AS %d's representative next hop is %d, expected the \
+                       lowest equally-best hop %d"
+                      v p min_hop));
+            if O.to_d out v <> exp_to_d || O.to_m out v <> exp_to_m then
+              emit
+                (D.error ~rule:"route/tiebreak" ~subjects:[ v ]
+                   (Printf.sprintf
+                      "AS %d's endpoint flags are (to-d=%b, to-m=%b), \
+                       expected (to-d=%b, to-m=%b)"
+                      v (O.to_d out v) (O.to_m out v) exp_to_d exp_to_m));
+            if not (O.to_d out v || O.to_m out v) then
+              emit
+                (D.error ~rule:"route/consistency" ~subjects:[ v ]
+                   (Printf.sprintf
+                      "AS %d is fixed but leads to neither endpoint" v))
+          end
+    in
+    for v = 0 to n - 1 do
+      if not (is_root out v) then begin
+        let offs = offers g dep out ~max_len v in
+        (match (O.reached out v, offs) with
+        | false, [] -> ()
+        | false, o :: _ ->
+            emit
+              (D.error ~rule:"route/missed" ~subjects:[ v ]
+                 (Printf.sprintf
+                    "AS %d is unreached but neighbor %d offers %s" v
+                    o.o_from
+                    (pp_triple (triple o))))
+        | true, [] ->
+            emit
+              (D.error ~rule:"route/missed" ~subjects:[ v ]
+                 (Printf.sprintf "AS %d is fixed but receives no offer" v))
+        | true, offs -> check_chosen v offs);
+        if O.reached out v then begin
+          diags := !diags @ path_diags g out ~claim v;
+          if O.secure out v then diags := !diags @ secure_diags g dep out v
+        end
+      end
+    done;
+    !diags
+  end
+
+let sources_of out =
+  let n = O.n out in
+  let acc = ref [] in
+  for v = n - 1 downto 0 do
+    if not (is_root out v) then acc := v :: !acc
+  done;
+  !acc
+
+let no_downgrade_sec1 ~normal ~attacked =
+  match O.attacker attacked with
+  | None -> []
+  | Some m ->
+      let diags = ref [] in
+      List.iter
+        (fun v ->
+          if
+            v <> m
+            && O.reached normal v
+            && O.secure normal v
+            && not (List.mem m (O.path normal v))
+            && not (O.secure attacked v)
+          then
+            diags :=
+              D.error ~rule:"thm/sec1-downgrade" ~subjects:[ v ]
+                (Printf.sprintf
+                   "AS %d held a secure route avoiding the attacker under \
+                    normal conditions but lost route security under attack"
+                   v)
+              :: !diags)
+        (sources_of normal);
+      List.rev !diags
+
+let sec3_monotone ~sub ~super =
+  if
+    O.n sub <> O.n super
+    || O.dst sub <> O.dst super
+    || O.attacker sub <> O.attacker super
+  then
+    [
+      D.error ~rule:"route/shape"
+        "monotonicity check requires outcomes for the same (attacker, \
+         destination) pair";
+    ]
+  else begin
+    let diags = ref [] in
+    List.iter
+      (fun v ->
+        if O.happy_lb sub v && not (O.happy_lb super v) then
+          diags :=
+            D.error ~rule:"thm/sec3-monotone" ~subjects:[ v ]
+              (Printf.sprintf
+                 "AS %d was definitely happy under S but not under S ⊇ S \
+                  (lower bound decreased)"
+                 v)
+            :: !diags;
+        if O.happy_ub sub v && not (O.happy_ub super v) then
+          diags :=
+            D.error ~rule:"thm/sec3-monotone" ~subjects:[ v ]
+              (Printf.sprintf
+                 "AS %d was possibly happy under S but not under S' ⊇ S \
+                  (upper bound decreased)"
+                 v)
+            :: !diags)
+      (sources_of sub);
+    List.rev !diags
+  end

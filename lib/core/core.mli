@@ -5,8 +5,8 @@
 
     Start with {!Topogen.generate} (or {!Serial.load} for real data), then
     {!Engine.compute} for a single routing outcome, {!Metric.h_metric} for
-    the paper's security metric, and {!Partition.count} for the
-    deployment-invariant bounds. *)
+    the paper's security metric, {!Partition.count} for the
+    deployment-invariant bounds, and {!Check.run} to audit any of it. *)
 
 module Bucket_queue = Prelude.Bucket_queue
 module Bitset = Prelude.Bitset

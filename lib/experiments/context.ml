@@ -75,6 +75,14 @@ let sec2 = Routing.Policy.make Routing.Policy.Security_second
 let sec3 = Routing.Policy.make Routing.Policy.Security_third
 let policies = [ sec1; sec2; sec3 ]
 
+let self_audit ?options t =
+  let options =
+    match options with
+    | Some o -> o
+    | None -> { Check.default_options with Check.seed = t.seed }
+  in
+  Check.run ~options ~tiers:t.tiers t.graph
+
 let describe t =
   Printf.sprintf "graph=%s n=%d c2p=%d p2p=%d seed=%d scale=%.1f" t.label
     (Topology.Graph.n t.graph)

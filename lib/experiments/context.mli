@@ -60,4 +60,10 @@ val sec1 : Routing.Policy.t
 val sec2 : Routing.Policy.t
 val sec3 : Routing.Policy.t
 
+val self_audit : ?options:Check.options -> t -> Check.Diagnostic.report
+(** Run the full invariant checker ({!Check.run}) on the context's graph
+    and tiers.  Defaults to {!Check.default_options} with the context's
+    seed.  The [run] command invokes this before any experiment when
+    [SBGP_CHECK=1] or [--check] is given, and aborts on errors. *)
+
 val describe : t -> string

@@ -54,6 +54,9 @@ let pairs ?rng ?max_pairs ~attackers ~dsts () =
     (fun m -> Array.iter (fun d -> if m <> d then incr total) dsts)
     attackers;
   let total = !total in
+  (match max_pairs with
+  | Some k when k < 0 -> invalid_arg "Metric.pairs: max_pairs < 0"
+  | _ -> ());
   if total = 0 then [||]
   else
     match max_pairs with

@@ -33,9 +33,7 @@ let classify ~d_ok ~m_ok =
 (* Security 3rd (any LP variant): the (class, length) prefix of the rank is
    deployment-invariant, so the endpoints of the baseline best-route set
    decide (Corollary E.1). *)
-let sec3_partition g policy ~attacker ~dst out =
-  ignore g;
-  ignore policy;
+let sec3_partition ~attacker ~dst out =
   Array.init (Routing.Outcome.n out) (fun v ->
       if v = attacker || v = dst then Unreachable
       else
@@ -228,13 +226,21 @@ let sec2_lpk_partition ?ws g policy ~k ~attacker ~dst n =
 
 let compute ?ws g policy ~attacker ~dst =
   let n = Topology.Graph.n g in
+  (* Validate here so every model raises the same error, instead of
+     leaking whichever internal helper trips first (the security-1st
+     path used to surface "Reach.compute: root = avoid" for m = d). *)
+  if dst < 0 || dst >= n then
+    invalid_arg "Partition.compute: dst out of range";
+  if attacker < 0 || attacker >= n then
+    invalid_arg "Partition.compute: attacker out of range";
+  if attacker = dst then invalid_arg "Partition.compute: attacker = dst";
   match (policy : Routing.Policy.t).model with
   | Security_third ->
       let out =
         Routing.Engine.compute ?ws g policy (Deployment.empty n) ~dst
           ~attacker:(Some attacker)
       in
-      sec3_partition g policy ~attacker ~dst out
+      sec3_partition ~attacker ~dst out
   | Security_first -> sec1_partition g ~attacker ~dst n
   | Security_second -> (
       match (policy : Routing.Policy.t).lp with

@@ -46,14 +46,18 @@ let lp_class t cls len =
 let compare_routes t (c1, l1, s1) (c2, l2, s2) =
   (* Each step compares "smaller is preferred"; secure routes first. *)
   let sec s = if s then 0 else 1 in
-  let lp r = lp_class t (match r with c, _, _ -> c) (match r with _, l, _ -> l) in
-  let keys (c, l, s) =
+  let keys c l s =
     match t.model with
-    | Security_first -> (sec s, lp (c, l, s), l)
-    | Security_second -> (lp (c, l, s), sec s, l)
-    | Security_third -> (lp (c, l, s), l, sec s)
+    | Security_first -> (sec s, lp_class t c l, l)
+    | Security_second -> (lp_class t c l, sec s, l)
+    | Security_third -> (lp_class t c l, l, sec s)
   in
-  compare (keys (c1, l1, s1)) (keys (c2, l2, s2))
+  let a1, b1, d1 = keys c1 l1 s1 and a2, b2, d2 = keys c2 l2 s2 in
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare b1 b2 in
+    if c <> 0 then c else Int.compare d1 d2
 
 (* Dense rank encodings.  Each is order-isomorphic to [compare_routes];
    see the property tests in test/test_routing.ml.

@@ -98,6 +98,13 @@ let of_edges ~n edge_list =
   sort_all peers;
   { n; customers; providers; peers; num_c2p = !num_c2p; num_p2p = !num_p2p }
 
+let unsafe_of_adjacency ~customers ~providers ~peers =
+  let n = Array.length customers in
+  if Array.length providers <> n || Array.length peers <> n then
+    invalid_arg "Graph.unsafe_of_adjacency: table length mismatch";
+  let sum arrs = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrs in
+  { n; customers; providers; peers; num_c2p = sum customers; num_p2p = sum peers / 2 }
+
 let n g = g.n
 let customers g v = g.customers.(v)
 let providers g v = g.providers.(v)

@@ -17,6 +17,19 @@ val of_edges : n:int -> edge list -> t
     out-of-range endpoints, or an AS pair appearing with two different
     relationships.  Duplicate identical edges are collapsed. *)
 
+val unsafe_of_adjacency :
+  customers:int array array ->
+  providers:int array array ->
+  peers:int array array ->
+  t
+(** Wrap raw adjacency tables with {e no} validation: self loops,
+    duplicates, asymmetric or unsorted tables all pass through untouched.
+    Exists so the checker's mutant suite and tests can build deliberately
+    malformed graphs that {!of_edges} would reject; cached edge counts are
+    derived from the customer/peer tables.  Never use it for real data —
+    every invariant of this module's documentation is the caller's
+    problem. *)
+
 val n : t -> int
 
 val customers : t -> int -> int array

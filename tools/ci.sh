@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI entry point: source lint, build, tests, opam metadata lint, and a
+# fast `sbgp check` smoke (all three checker passes + the mutant
+# self-test on a small generated topology).  Any failing step aborts.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @lint"
+dune build @lint
+
+echo "== dune build"
+dune build
+
+echo "== dune runtest"
+dune runtest
+
+echo "== opam lint"
+if command -v opam >/dev/null 2>&1; then
+  opam lint sbgp.opam
+else
+  echo "opam not found; skipping metadata lint"
+fi
+
+echo "== sbgp check (smoke)"
+dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants
+
+echo "ci: all green"

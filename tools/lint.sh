@@ -1,0 +1,53 @@
+#!/bin/sh
+# Source lint for the simulation hot paths.  Run via `dune build @lint`
+# (or directly from the repository root); exits non-zero on any finding.
+#
+# Rules:
+#   1. No polymorphic comparison (bare `compare`, `Stdlib.compare`,
+#      `Stdlib.(=)`, `Stdlib.(<>)`) in lib/routing, lib/metric or
+#      lib/parallel.  These run in the per-pair inner loops; polymorphic
+#      compare boxes its arguments, defeats branch prediction, and
+#      silently does the wrong thing on records with irrelevant fields.
+#      Use Int.compare / String.compare / Policy.compare_routes or a
+#      hand-written comparator.
+#   2. No `Obj.magic` and no `Printexc.print_backtrace` outside test/.
+#      The first is never justified in this codebase; the second is a
+#      debugging escape that belongs in a test harness, not in library
+#      or binary code.
+
+set -u
+
+status=0
+
+# --- rule 1: polymorphic comparison in hot paths --------------------
+# Matches `compare` used as a standalone identifier (call position or
+# passed to a sort); `X.compare` and names like `compare_routes` do not
+# match.
+hot_paths="lib/routing lib/metric lib/parallel"
+hot_files=$(find $hot_paths -name '*.ml' 2>/dev/null)
+if [ -n "$hot_files" ]; then
+  # Comment filter is line-local: a mention of `compare` after `(*` on
+  # the same line is ignored; multi-line comment bodies are not special-
+  # cased (keep prose mentions of compare on the `(*` line).
+  hits=$(grep -nE '(^|[^.A-Za-z_0-9])(compare[^A-Za-z_0-9]|Stdlib\.compare|Stdlib\.\( *(=|<>) *\))' \
+    $hot_files | grep -vE '^\S+:[0-9]+: *\(?\*|\(\*.*compare' || true)
+  if [ -n "$hits" ]; then
+    echo "lint: polymorphic comparison in hot-path code (use a monomorphic comparator):"
+    echo "$hits"
+    status=1
+  fi
+fi
+
+# --- rule 2: debugging escapes outside test/ ------------------------
+esc=$(find lib bin -name '*.ml' 2>/dev/null \
+  | xargs grep -nE 'Obj\.magic|Printexc\.print_backtrace' 2>/dev/null || true)
+if [ -n "$esc" ]; then
+  echo "lint: Obj.magic / Printexc.print_backtrace outside test/:"
+  echo "$esc"
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "lint: clean"
+fi
+exit "$status"
