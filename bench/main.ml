@@ -19,10 +19,22 @@
    0.8), SBGP_BENCH_PAIRS (pair count for the H-metric comparison,
    default 256).
 
+   Part 4 times the full rollout-experiment workload (Figures 7(a),
+   7(b), 8, 11 and the non-stub deployment, three security models each)
+   from scratch — one full H-metric evaluation per policy, step and
+   variant, as the experiment used to run — against the incremental
+   machinery (dirty-cone evaluators, the shared normalized cache, clean
+   per-destination carries) and checks both are bit-identical.
+
+   Environment knobs (additional): SBGP_BENCH_ONLY — comma-separated
+   subset of the parts "experiments", "micro", "h_metric", "rollout" to
+   run (default: all).
+
    With --json on the command line (or SBGP_BENCH_JSON=1), all timings
    are additionally written to BENCH_<label>.json, where <label> comes
    from SBGP_BENCH_LABEL (default "default") — one flat document per
-   run, meant for diffing across commits. *)
+   run, meant for diffing across commits; only the parts that ran are
+   present. *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -34,6 +46,14 @@ let env_float name default =
   | Some s -> (
       match float_of_string_opt s with Some v -> v | None -> default)
   | None -> default
+
+let part name =
+  match Sys.getenv_opt "SBGP_BENCH_ONLY" with
+  | None | Some "" -> true
+  | Some s ->
+      List.exists
+        (fun p -> String.equal (String.trim p) name)
+        (String.split_on_char ',' s)
 
 let run_experiments () =
   let n = env_int "SBGP_BENCH_N" 4000 in
@@ -251,6 +271,361 @@ let run_h_metric_comparison () =
     ("identical", if identical then 1. else 0.);
   ]
 
+(* The Section-5.2 rollout-family workload — the Figure 7(a) Tier 1+2
+   chain (with its simplex-stub "error bar" variant and the Figure 7(b)
+   per-secure-destination columns), the Figure 8 CP chain, the Figure 11
+   Tier-2-only chain, the Section 5.2.4 non-stub deployment, and the
+   per-destination experiment's Figure 9/10/12 scenarios, each under all
+   three security models — evaluated the way the experiments used to (a
+   full H-metric pass per policy, step and variant, fresh
+   empty-deployment baselines per variant, per-destination columns and
+   H(S) means recomputed from scratch), and then through the incremental
+   machinery (dirty-cone evaluators, the shared normalized cache, clean
+   per-destination carries, and cross-experiment cache reuse via the
+   family-shared samples).  Both sides share the same seeded samples and
+   must agree bit-for-bit on every reported number; the interesting
+   figure is the wall-clock ratio. *)
+let run_rollout_bench () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let scale = env_float "SBGP_SCALE" 1.0 in
+  let ctx = Core.Experiments.Context.make ~n ~seed ~scale () in
+  let g = ctx.Core.Experiments.Context.graph in
+  let tiers = ctx.Core.Experiments.Context.tiers in
+  let scaled = Core.Experiments.Context.scaled ctx in
+  let attackers = Core.Experiments.Util.rollout_attackers ctx ~k:30 in
+  let dsts_all =
+    Core.Experiments.Context.sample ctx "rollout-dst"
+      ctx.Core.Experiments.Context.all (scaled 45)
+  in
+  let pairs_all = Core.Metric.pairs ~attackers ~dsts:dsts_all () in
+  let pairs_cps =
+    Core.Metric.pairs ~attackers ~dsts:ctx.Core.Experiments.Context.cps ()
+  in
+  let t1t2 ?stub_mode ~with_cps (x, y) =
+    let d = Core.Deployment.tier1_tier2 ?stub_mode g tiers ~n_t1:x ~n_t2:y in
+    if with_cps then Core.Deployment.with_cps g tiers d else d
+  in
+  let sd_sample dep = Core.Experiments.Util.secure_dsts ctx dep ~k:50 in
+  let step lbl ?simplex dep = (lbl, dep, simplex, sd_sample dep) in
+  let t1t2_points = [ (13, 13); (13, 37); (13, 100) ] in
+  let variants =
+    [
+      ( "fig7a",
+        pairs_all,
+        List.map
+          (fun (x, y) ->
+            step
+              (Printf.sprintf "T1=%d,T2=%d" x y)
+              ~simplex:
+                (t1t2 ~stub_mode:Core.Deployment.Simplex ~with_cps:false (x, y))
+              (t1t2 ~with_cps:false (x, y)))
+          t1t2_points );
+      ( "fig8",
+        pairs_cps,
+        List.map
+          (fun (x, y) ->
+            step (Printf.sprintf "T1=%d,T2=%d,CP" x y) (t1t2 ~with_cps:true (x, y)))
+          t1t2_points );
+      ( "fig11",
+        pairs_all,
+        List.map
+          (fun y ->
+            step
+              (Printf.sprintf "T2=%d" y)
+              (Core.Deployment.tier2_only g tiers ~n_t2:y))
+          [ 13; 26; 50; 100 ] );
+      ( "nonstubs",
+        pairs_all,
+        [ step "non-stubs" (Core.Deployment.non_stubs g tiers) ] );
+    ]
+  in
+  (* The per-destination experiment (Figures 9, 10, 12) rides along: its
+     scenarios are rollout endpoints — Figure 9 is the Figure 7(a)
+     chain's last step — and the family-shared samples (Util) make its
+     pair sets supersets of the rollout's per-destination columns, so on
+     the incremental side much of its work is served by the cache the
+     rollout variants just filled. *)
+  let pd_attackers = Core.Experiments.Util.rollout_attackers ctx ~k:20 in
+  let pd_scenarios =
+    List.map
+      (fun (tag, dep) ->
+        (tag, dep, Core.Experiments.Util.secure_dsts ctx dep ~k:120))
+      [
+        ("fig9", t1t2 ~with_cps:false (13, 100));
+        ("fig10", Core.Deployment.tier2_only g tiers ~n_t2:100);
+        ("fig12", Core.Deployment.non_stubs g tiers);
+      ]
+  in
+  let empty = Core.Deployment.empty (Core.Graph.n g) in
+  let policies = Core.Experiments.Context.policies in
+  let pool = Core.Experiments.Context.pool ctx in
+  let pname = Core.Policy.name in
+  let per_dst_avg deltas =
+    let avg f = Core.Stats.mean (Array.map (fun (_, b) -> f b) deltas) in
+    {
+      Core.Metric.lb = avg (fun b -> b.Core.Metric.lb);
+      ub = avg (fun b -> b.Core.Metric.ub);
+    }
+  in
+  let mean_bounds (bs : Core.Metric.bounds array) =
+    {
+      Core.Metric.lb =
+        Core.Stats.mean (Array.map (fun b -> b.Core.Metric.lb) bs);
+      ub = Core.Stats.mean (Array.map (fun b -> b.Core.Metric.ub) bs);
+    }
+  in
+  (* The per-destination experiment's work for one scenario and policy:
+     the Figure 9/10/12 delta column plus the true-protection H(S) mean
+     (which the old code recomputed even though the delta pass had just
+     evaluated the identical pairs). *)
+  let pd_rows ?cache (tag, dep, pd_dsts) policy =
+    let row = Printf.sprintf "pd/%s/%s" tag (pname policy) in
+    let deltas =
+      Core.Experiments.Util.per_destination_changes ~pool ?cache g policy dep
+        ~attackers:pd_attackers ~dsts:pd_dsts
+    in
+    let hs =
+      Core.Parallel.map ~pool
+        (fun dst ->
+          Core.Metric.h_metric_per_dst ?cache g policy dep
+            ~attackers:pd_attackers ~dst)
+        pd_dsts
+    in
+    [ (row ^ "/dh", per_dst_avg deltas); (row ^ "/h", mean_bounds hs) ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  (* Engine evaluations the scratch strategy performs, counted exactly. *)
+  let cross atts ds =
+    Array.fold_left
+      (fun acc d ->
+        acc
+        + Array.fold_left (fun a m -> if m <> d then a + 1 else a) 0 atts)
+      0 ds
+  in
+  let scratch_evals =
+    List.fold_left
+      (fun acc (_, pairs, steps) ->
+        let full_passes =
+          List.fold_left
+            (fun a (_, _, simplex, _) ->
+              a + 1 + match simplex with Some _ -> 1 | None -> 0)
+            1 (* the per-variant empty baseline *) steps
+        in
+        let perdst =
+          List.fold_left
+            (fun a (_, _, _, sd) -> a + (2 * cross attackers sd))
+            0 steps
+        in
+        acc + (3 * ((full_passes * Array.length pairs) + perdst)))
+      0 variants
+  in
+  (* Per-destination experiment, from scratch: per scenario and policy,
+     the delta pass evaluates every (m, d) pair at S and at {} (2x) and
+     the H(S) mean re-evaluates the deployment side again (1x). *)
+  let scratch_evals =
+    scratch_evals
+    + List.fold_left
+        (fun acc (_, _, pd_dsts) -> acc + (3 * 3 * cross pd_attackers pd_dsts))
+        0 pd_scenarios
+  in
+  (* Both sides emit the same labeled values in the same order; the
+     comparison below is on raw floats, not formatted cells. *)
+  let scratch, scratch_s =
+    time (fun () ->
+        (* Bind the rollout part first: [a @ b] evaluates [b] before [a],
+           and the incremental side depends on the rollout running first
+           to fill the cache — keep the scratch side's order identical. *)
+        let rollout =
+          List.concat_map
+            (fun (tag, pairs, steps) ->
+            List.concat_map
+              (fun policy ->
+                let h dep = Core.Metric.h_metric ~pool g policy dep pairs in
+                let baseline = h empty in
+                (Printf.sprintf "%s/baseline/%s" tag (pname policy), baseline)
+                :: List.concat_map
+                     (fun (lbl, dep, simplex, sd) ->
+                       let row = Printf.sprintf "%s/%s/%s" tag lbl (pname policy) in
+                       ((row ^ "/h", h dep)
+                       ::
+                       (match simplex with
+                       | Some sdep -> [ (row ^ "/simplex", h sdep) ]
+                       | None -> []))
+                       @
+                       if Array.length sd = 0 then []
+                       else
+                         [
+                           ( row ^ "/perdst",
+                             per_dst_avg
+                               (Core.Experiments.Util.per_destination_changes
+                                  ~pool g policy dep ~attackers ~dsts:sd) );
+                         ])
+                     steps)
+              policies)
+            variants
+        in
+        let perdst =
+          List.concat_map
+            (fun sc ->
+              List.concat_map (fun policy -> pd_rows sc policy) policies)
+            pd_scenarios
+        in
+        rollout @ perdst)
+  in
+  let cache = Core.Metric.Cache.create () in
+  let carried_perdst = ref 0 in
+  let ev_stats = ref [] in
+  let inc, inc_s =
+    time (fun () ->
+        let rollout =
+          List.concat_map
+            (fun (tag, pairs, steps) ->
+            let lanes =
+              List.map
+                (fun policy ->
+                  let base_ev =
+                    Core.Metric.Evaluator.create ~pool ~cache g policy pairs
+                  in
+                  let baseline = Core.Metric.Evaluator.eval base_ev empty in
+                  let simplex_ev =
+                    lazy
+                      (let ev =
+                         Core.Metric.Evaluator.create ~pool ~cache g policy
+                           pairs
+                       in
+                       ignore (Core.Metric.Evaluator.eval ev empty);
+                       ev)
+                  in
+                  (policy, base_ev, simplex_ev, baseline))
+                policies
+            in
+            let sd_prev = ref None in
+            let rows =
+              List.concat_map
+                (fun (lbl, dep, simplex, sd) ->
+                  (match !sd_prev with
+                  | Some (old_dep, old_dsts) when Array.length sd > 0 ->
+                      let keep = Hashtbl.create 64 in
+                      Array.iter (fun d -> Hashtbl.replace keep d ()) old_dsts;
+                      let retained =
+                        Array.to_list sd
+                        |> List.filter (Hashtbl.mem keep)
+                        |> Array.of_list
+                      in
+                      if Array.length retained > 0 then begin
+                        let cone =
+                          Core.Incremental.compute g ~old_dep ~new_dep:dep
+                            ~dsts:retained
+                        in
+                        List.iter
+                          (fun (policy, _, _, _) ->
+                            carried_perdst :=
+                              !carried_perdst
+                              + Core.Metric.Cache.carry cache policy cone
+                                  ~old_dep ~new_dep:dep ~attackers
+                                  ~dsts:retained)
+                          lanes
+                      end
+                  | _ -> ());
+                  if Array.length sd > 0 then sd_prev := Some (dep, sd);
+                  List.concat_map
+                    (fun (policy, base_ev, simplex_ev, _) ->
+                      let row = Printf.sprintf "%s/%s/%s" tag lbl (pname policy) in
+                      ((row ^ "/h", Core.Metric.Evaluator.eval base_ev dep)
+                      ::
+                      (match simplex with
+                      | Some sdep ->
+                          [
+                            ( row ^ "/simplex",
+                              Core.Metric.Evaluator.eval
+                                (Lazy.force simplex_ev) sdep );
+                          ]
+                      | None -> []))
+                      @
+                      if Array.length sd = 0 then []
+                      else
+                        [
+                          ( row ^ "/perdst",
+                            per_dst_avg
+                              (Core.Experiments.Util.per_destination_changes
+                                 ~pool ~cache g policy dep ~attackers ~dsts:sd)
+                          );
+                        ])
+                    lanes)
+                steps
+            in
+            let baselines =
+              List.map
+                (fun (policy, base_ev, simplex_ev, baseline) ->
+                  ev_stats := Core.Metric.Evaluator.stats base_ev :: !ev_stats;
+                  if Lazy.is_val simplex_ev then
+                    ev_stats :=
+                      Core.Metric.Evaluator.stats (Lazy.force simplex_ev)
+                      :: !ev_stats;
+                  (Printf.sprintf "%s/baseline/%s" tag (pname policy), baseline))
+                lanes
+            in
+            baselines @ rows)
+            variants
+        in
+        (* After the rollouts: the shared cache now holds the rollout
+           family's per-pair bounds, so these passes are mostly hits. *)
+        let perdst =
+          List.concat_map
+            (fun sc ->
+              List.concat_map (fun policy -> pd_rows ~cache sc policy) policies)
+            pd_scenarios
+        in
+        rollout @ perdst)
+  in
+  let identical =
+    List.length scratch = List.length inc
+    && List.for_all2
+         (fun (l0, (b0 : Core.Metric.bounds)) (l1, b1) ->
+           String.equal l0 l1 && b0 = b1)
+         (List.sort compare scratch) (List.sort compare inc)
+  in
+  if not identical then
+    failwith "rollout bench: incremental result differs from scratch";
+  let tot f = List.fold_left (fun acc s -> acc + f s) 0 !ev_stats in
+  let computed = tot (fun s -> s.Core.Metric.Evaluator.computed) in
+  let carried = tot (fun s -> s.Core.Metric.Evaluator.carried) in
+  let cache_hits = tot (fun s -> s.Core.Metric.Evaluator.cache_hits) in
+  let thm_skips = tot (fun s -> s.Core.Metric.Evaluator.thm_skips) in
+  (* Every engine evaluation on the incremental side is a cache miss
+     (evaluator recomputes go through a [find] first, and the
+     per-destination passes run through [h_metric ~cache]). *)
+  let inc_evals = Core.Metric.Cache.misses cache in
+  Printf.printf
+    "#### Rollout suite (figs 7a/7b/8/9/10/11/12 + non-stubs): scratch %.3fs \
+     (%d engine evals) vs incremental %.3fs (%d engine evals), x%.2f, \
+     identical=%b ####\n\
+     \     evaluator pairs: %d computed, %d carried, %d cache hits, %d \
+     theorem skips; %d per-dst entries carried\n\n\
+     %!"
+    scratch_s scratch_evals inc_s inc_evals (scratch_s /. inc_s) identical
+    computed carried cache_hits thm_skips !carried_perdst;
+  [
+    ("pairs_all", float_of_int (Array.length pairs_all));
+    ("pairs_cps", float_of_int (Array.length pairs_cps));
+    ("scratch_s", scratch_s);
+    ("scratch_evals", float_of_int scratch_evals);
+    ("incremental_s", inc_s);
+    ("incremental_evals", float_of_int inc_evals);
+    ("speedup", scratch_s /. inc_s);
+    ("computed", float_of_int computed);
+    ("carried", float_of_int carried);
+    ("cache_hits", float_of_int cache_hits);
+    ("thm_skips", float_of_int thm_skips);
+    ("perdst_carried", float_of_int !carried_perdst);
+    ("identical", if identical then 1. else 0.);
+  ]
+
 (* Minimal JSON emission — no dependencies, flat string/number maps. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -276,21 +651,20 @@ let json_obj fields =
          fields)
   ^ "}"
 
-let write_json ~label ~experiments ~micro ~h_metric ~total_s =
-  let num_map kvs = json_obj (List.map (fun (k, v) -> (k, json_float v)) kvs) in
+let num_map kvs = json_obj (List.map (fun (k, v) -> (k, json_float v)) kvs)
+
+let write_json ~label ~sections ~total_s =
   let doc =
     json_obj
-      [
-        ("label", Printf.sprintf "\"%s\"" (json_escape label));
-        ("n", string_of_int (env_int "SBGP_BENCH_N" 4000));
-        ("scale", json_float (env_float "SBGP_SCALE" 1.0));
-        ("seed", string_of_int (env_int "SBGP_SEED" 42));
-        ("domains", string_of_int (Core.Parallel.default_domains ()));
-        ("experiments_s", num_map experiments);
-        ("micro_ns_per_run", num_map micro);
-        ("h_metric", num_map h_metric);
-        ("total_s", json_float total_s);
-      ]
+      ([
+         ("label", Printf.sprintf "\"%s\"" (json_escape label));
+         ("n", string_of_int (env_int "SBGP_BENCH_N" 4000));
+         ("scale", json_float (env_float "SBGP_SCALE" 1.0));
+         ("seed", string_of_int (env_int "SBGP_SEED" 42));
+         ("domains", string_of_int (Core.Parallel.default_domains ()));
+       ]
+      @ sections
+      @ [ ("total_s", json_float total_s) ])
   in
   let path = Printf.sprintf "BENCH_%s.json" label in
   let oc = open_out path in
@@ -310,9 +684,12 @@ let () =
     | Some _ -> true
   in
   let t0 = Unix.gettimeofday () in
-  let experiments = run_experiments () in
-  let micro = run_micro () in
-  let h_metric = run_h_metric_comparison () in
+  let sections = ref [] in
+  let add name kvs = sections := !sections @ [ (name, num_map kvs) ] in
+  if part "experiments" then add "experiments_s" (run_experiments ());
+  if part "micro" then add "micro_ns_per_run" (run_micro ());
+  if part "h_metric" then add "h_metric" (run_h_metric_comparison ());
+  if part "rollout" then add "rollout" (run_rollout_bench ());
   let total_s = Unix.gettimeofday () -. t0 in
   if json then begin
     let label =
@@ -320,6 +697,6 @@ let () =
       | Some l when l <> "" -> l
       | _ -> "default"
     in
-    write_json ~label ~experiments ~micro ~h_metric ~total_s
+    write_json ~label ~sections:!sections ~total_s
   end;
   Printf.printf "total bench time: %.1fs\n" total_s

@@ -234,8 +234,26 @@ let check_cmd =
       & info [ "rules" ]
           ~doc:"List every diagnostic rule id with a description and exit.")
   in
+  let inc_pairs_arg =
+    Arg.(
+      value
+      & opt int Core.Check.default_options.Core.Check.inc_pairs
+      & info [ "inc-pairs" ] ~docv:"K"
+          ~doc:
+            "Number of pairs compared by the incremental-evaluation pass \
+             (scaled by --scale).")
+  in
+  let incremental_arg =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:
+            "Run only the incremental pass: evaluation along a seeded \
+             rollout chain must be bit-identical to from-scratch \
+             computation at every step (uses the context's worker pool).")
+  in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules =
+      rules inc_pairs incremental =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
@@ -250,6 +268,7 @@ let check_cmd =
           Core.Check.seed;
           pairs = scaled pairs;
           det_pairs = scaled det_pairs;
+          inc_pairs = scaled inc_pairs;
           attacker_claim = claim;
         }
       in
@@ -266,9 +285,14 @@ let check_cmd =
         else None
       in
       let report =
-        Core.Check.run ~options
-          ~tiers:ctx.Core.Experiments.Context.tiers ?base
-          ctx.Core.Experiments.Context.graph
+        if incremental then
+          Core.Check.run_incremental ~options
+            ~pool:(Core.Experiments.Context.pool ctx)
+            ctx.Core.Experiments.Context.graph
+        else
+          Core.Check.run ~options
+            ~tiers:ctx.Core.Experiments.Context.tiers ?base
+            ctx.Core.Experiments.Context.graph
       in
       let report =
         if mutants then
@@ -287,7 +311,7 @@ let check_cmd =
     Term.(
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
-      $ rules_arg)
+      $ rules_arg $ inc_pairs_arg $ incremental_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

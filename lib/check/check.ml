@@ -2,6 +2,7 @@ module Diagnostic = Diagnostic
 module Lint = Lint
 module Verify = Verify
 module Determinism = Determinism
+module Incremental = Incremental
 module Mutants = Mutants
 module D = Diagnostic
 module G = Topology.Graph
@@ -14,6 +15,7 @@ let sec3 = P.make P.Security_third
 type options = {
   pairs : int;
   det_pairs : int;
+  inc_pairs : int;
   policies : P.t list;
   attacker_claim : int;
   seed : int;
@@ -23,6 +25,7 @@ let default_options =
   {
     pairs = 12;
     det_pairs = 6;
+    inc_pairs = 6;
     policies =
       [ sec1; P.make P.Security_second; sec3 ];
     attacker_claim = 1;
@@ -139,6 +142,10 @@ let determinism_pass options g =
   in
   (Array.length pairs * List.length configs, diags)
 
+let incremental_pass options g =
+  Incremental.analyze ~seed:(options.seed + 3) ~pairs:options.inc_pairs g
+    options.policies
+
 let run ?(options = default_options) ?tiers ?base ?deployments g =
   let n = G.n g in
   let report = D.empty_report in
@@ -154,5 +161,14 @@ let run ?(options = default_options) ?tiers ?base ?deployments g =
     let titems, tdiags = theorem_pass options g in
     let report = D.add_pass report "theorems" ~items:titems tdiags in
     let ditems, ddiags = determinism_pass options g in
-    D.add_pass report "determinism" ~items:ditems ddiags
+    let report = D.add_pass report "determinism" ~items:ditems ddiags in
+    let iitems, idiags = incremental_pass options g in
+    D.add_pass report "incremental" ~items:iitems idiags
   end
+
+let run_incremental ?(options = default_options) ?pool g =
+  let items, diags =
+    Incremental.analyze ?pool ~seed:(options.seed + 3)
+      ~pairs:options.inc_pairs g options.policies
+  in
+  D.add_pass D.empty_report "incremental" ~items diags

@@ -11,7 +11,10 @@
       realizability, plus the paper's Theorem 3.1 / 6.1 assertions;
     + {b determinism} ({!Determinism}) — the same batch replayed across
       domain counts and workspace-reuse settings must be bit-identical
-      to the sequential fresh-buffer baseline.
+      to the sequential fresh-buffer baseline;
+    + {b incremental} ({!Incremental}) — evaluation along a seeded
+      rollout chain through the dirty-cone/caching layer must be
+      bit-identical to from-scratch computation at every step.
 
     All diagnostics are structured ({!Diagnostic}): rule id, severity,
     offending ASes, message — the checker reports everything it finds
@@ -23,19 +26,21 @@ module Diagnostic = Diagnostic
 module Lint = Lint
 module Verify = Verify
 module Determinism = Determinism
+module Incremental = Incremental
 module Mutants = Mutants
 
 type options = {
   pairs : int;  (** sampled (destination, attacker) pairs for verify *)
   det_pairs : int;  (** pairs replayed by the determinism pass *)
+  inc_pairs : int;  (** pairs compared by the incremental pass *)
   policies : Routing.Policy.t list;  (** security models to verify under *)
   attacker_claim : int;  (** bogus path length of the "m d" announcement *)
   seed : int;  (** sampling seed; same seed, same pairs *)
 }
 
 val default_options : options
-(** 12 verify pairs, 6 determinism pairs, all three standard security
-    models, claim 1, seed 42. *)
+(** 12 verify pairs, 6 determinism pairs, 6 incremental pairs, all three
+    standard security models, claim 1, seed 42. *)
 
 val enabled : unit -> bool
 (** [SBGP_CHECK] is set to [1]/[true]/[yes] in the environment — the
@@ -55,3 +60,10 @@ val run :
     passes derive their own deployments (a sparse subset of a mixed one,
     as Theorem 6.1 needs).  [Diagnostic.ok] on the result decides
     clean/broken; passes record how many items they covered. *)
+
+val run_incremental :
+  ?options:options -> ?pool:Parallel.Pool.t -> Topology.Graph.t ->
+  Diagnostic.report
+(** Only the incremental pass ([sbgp check --incremental]), optionally
+    fanning the evaluator's recomputations over [pool] so the sharded
+    cache is exercised under parallelism too. *)

@@ -106,6 +106,9 @@ let catalogue =
     ( "det/divergence",
       "a (domains, workspace) configuration diverged from the sequential \
        fresh-buffer baseline" );
+    ( "inc/divergence",
+      "incremental rollout evaluation diverged from a from-scratch \
+       computation at some step of a seeded deployment chain" );
     ( "check/false-negative",
       "a mutant with a planted bug was not flagged by the checker" );
   ]

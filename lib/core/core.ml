@@ -10,6 +10,7 @@
 
 module Bucket_queue = Prelude.Bucket_queue
 module Bitset = Prelude.Bitset
+module Shard_cache = Prelude.Shard_cache
 module Stats = Prelude.Stats
 module Table = Prelude.Table
 module Rng = Rng
@@ -23,6 +24,7 @@ module Outcome = Routing.Outcome
 module Engine = Routing.Engine
 module Staged = Routing.Staged
 module Reach = Routing.Reach
+module Incremental = Routing.Incremental
 module Deployment = Deployment
 module Bgpsim = Bgpsim
 module Partition = Metric.Partition

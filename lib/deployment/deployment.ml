@@ -46,6 +46,25 @@ let subset s t =
        !ok
      end
 
+let equal a b =
+  Array.length a.modes = Array.length b.modes
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun v m -> if mode_rank m <> mode_rank b.modes.(v) then ok := false)
+         a.modes;
+       !ok
+     end
+
+(* FNV-1a over the mode ranks: stable across runs, no boxing. *)
+let fingerprint t =
+  let h = ref 0x811c9dc5 in
+  Array.iter
+    (fun m ->
+      h := (!h lxor mode_rank m) * 0x01000193 land max_int)
+    t.modes;
+  !h
+
 let isps_and_stubs ?(stub_mode = Full) g tiers ~isps =
   let modes = Array.make (Topology.Graph.n g) Off in
   (* Only tier-classified stubs count: an AS with no customers that is a

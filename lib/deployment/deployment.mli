@@ -40,6 +40,14 @@ val union : t -> t -> t
 val subset : t -> t -> bool
 (** [subset s t]: every AS at least as secure in [t] as in [s]. *)
 
+val equal : t -> t -> bool
+(** Pointwise mode equality (false on size mismatch). *)
+
+val fingerprint : t -> int
+(** Non-negative content hash of the mode vector, stable across runs.
+    [equal a b] implies [fingerprint a = fingerprint b]; the metric-layer
+    cache uses it to intern deployment versions cheaply. *)
+
 (** {1 Scenarios from Section 5}
 
     All scenario constructors secure the listed ISPs in [Full] mode and

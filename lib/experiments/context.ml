@@ -9,6 +9,8 @@ type t = {
   non_stubs : int array;
   domains : int;
   pool_cell : Parallel.Pool.t Lazy.t;
+  cache_cell : Metric.H_metric.Cache.t Lazy.t;
+  sample_log : (string, int * int) Hashtbl.t;
 }
 
 let finish ~label ~seed ~scale ~domains graph cps =
@@ -36,9 +38,12 @@ let finish ~label ~seed ~scale ~domains graph cps =
       lazy
         (if domains = Parallel.default_domains () then Parallel.default_pool ()
          else Parallel.Pool.create ~domains ());
+    cache_cell = lazy (Metric.H_metric.Cache.create ());
+    sample_log = Hashtbl.create 16;
   }
 
 let pool t = Lazy.force t.pool_cell
+let cache t = Lazy.force t.cache_cell
 
 let make ?(n = 4000) ?(seed = 42) ?(ixp = false) ?(scale = 1.) ?domains () =
   let r = Topogen.generate ~params:(Topogen.default_params ~n) (Rng.create seed) in
@@ -61,10 +66,52 @@ let rng t purpose =
 
 let scaled t k = max 1 (int_of_float (ceil (float_of_int k *. t.scale)))
 
+let pool_digest pool =
+  Array.fold_left
+    (fun h v -> ((h * 31) + v + 1) land max_int)
+    (Array.length pool) pool
+
 let sample t purpose pool k =
   let k = min k (Array.length pool) in
+  (* A purpose string names one sample stream.  Reusing it against a
+     different pool or size silently replays the same index stream over
+     different data (the Figure 7(b) secure-destination bug), so flag it
+     loudly; repeating an identical draw is legitimate and cheap. *)
+  let digest = pool_digest pool in
+  (match Hashtbl.find_opt t.sample_log purpose with
+  | None -> Hashtbl.add t.sample_log purpose (digest, k)
+  | Some (d, k') when d = digest && k' = k -> ()
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Context.sample: purpose %S reused with a different pool or size"
+           purpose));
   let idx = Rng.sample_without_replacement (rng t purpose) k (Array.length pool) in
   let out = Array.map (fun i -> pool.(i)) idx in
+  Array.sort Int.compare out;
+  out
+
+(* A fixed pseudo-random priority over AS ids, derived from the context
+   seed and a purpose string.  splitmix64-style finalizer on OCaml's
+   63-bit native ints — plenty for tie-free ordering of graph nodes. *)
+let priority t purpose =
+  let base = (t.seed * 0x9E3779B9) lxor (Hashtbl.hash purpose * 0x85EBCA6B) in
+  fun v ->
+    let z = base + ((v + 1) * 0x9E3779B97F4A7C1) in
+    let z = (z lxor (z lsr 30)) * 0xBF58476D1CE4E5B in
+    let z = (z lxor (z lsr 27)) * 0x94D049BB133111E in
+    (z lxor (z lsr 31)) land max_int
+
+let priority_sample t purpose pool k =
+  let k = min k (Array.length pool) in
+  let pi = priority t purpose in
+  let ranked = Array.map (fun v -> (pi v, v)) pool in
+  Array.sort
+    (fun (a, va) (b, vb) ->
+      let c = Int.compare a b in
+      if c <> 0 then c else Int.compare va vb)
+    ranked;
+  let out = Array.init k (fun i -> snd ranked.(i)) in
   Array.sort Int.compare out;
   out
 

@@ -18,6 +18,9 @@ type t = {
   non_stubs : int array;  (** the non-stub attacker pool M' of Section 5 *)
   domains : int;          (** worker-domain count for the experiment pool *)
   pool_cell : Parallel.Pool.t Lazy.t;  (** use {!pool} *)
+  cache_cell : Metric.H_metric.Cache.t Lazy.t;  (** use {!cache} *)
+  sample_log : (string, int * int) Hashtbl.t;
+      (** per-purpose (pool digest, size) audit trail for {!sample} *)
 }
 
 val make :
@@ -40,6 +43,12 @@ val pool : t -> Parallel.Pool.t
     wide; the process-wide default pool is shared when the widths agree).
     Experiments thread this through {!Util}'s helpers. *)
 
+val cache : t -> Metric.H_metric.Cache.t
+(** The context's shared per-pair bounds cache, created lazily.  Scoped
+    to this context's graph; experiments thread it through {!Util} and
+    the {!Metric.H_metric.Evaluator}s so repeated deployments (e.g. the
+    empty baseline) are computed once per policy and pair set. *)
+
 val rng : t -> string -> Rng.t
 (** A fresh generator derived from the context seed and a purpose string,
     so experiments draw independent but reproducible samples. *)
@@ -49,7 +58,24 @@ val scaled : t -> int -> int
 
 val sample : t -> string -> int array -> int -> int array
 (** [sample ctx purpose pool k] draws [min k (length pool)] distinct
-    elements of [pool]. *)
+    elements of [pool].  Each purpose string names one sample stream:
+    drawing the same purpose again with the same pool and size is a
+    legitimate replay, but reusing it with a {e different} pool or size
+    raises [Invalid_argument] — that pattern silently replays one index
+    stream over unrelated data. *)
+
+val priority_sample : t -> string -> int array -> int -> int array
+(** [priority_sample ctx purpose pool k]: the [min k (length pool)]
+    elements of [pool] with the smallest values under a fixed seeded
+    pseudo-random priority over AS ids (derived from the context seed and
+    [purpose]), returned sorted.  Because the priority is independent of
+    the pool, each draw is a uniform [k]-subset of its pool — but unlike
+    {!sample}, draws from {e overlapping} pools are coupled: nested pools
+    (e.g. the secure sets of successive rollout steps) yield maximally
+    overlapping samples.  That makes per-step estimates reusable across
+    steps and variants, and turns step-to-step deltas into paired
+    comparisons (a variance reduction).  Positionally sound for any pool,
+    so purposes may be reused freely across pools — reuse is the point. *)
 
 val tier_members : t -> Topology.Tiers.tier -> int array
 

@@ -18,9 +18,10 @@ let scenarios (ctx : Context.t) =
   ]
 
 let run (ctx : Context.t) =
-  let attackers =
-    Context.sample ctx "early-att" ctx.non_stubs (Context.scaled ctx 25)
-  in
+  (* Shared rollout-family samples: the third scenario is the Figure 11
+     chain's first step, so with nested samples its per-destination
+     bounds are already cached when the rollout experiment ran first. *)
+  let attackers = Util.rollout_attackers ctx ~k:25 in
   let table =
     Prelude.Table.create
       ~header:
@@ -28,16 +29,12 @@ let run (ctx : Context.t) =
   in
   List.iter
     (fun (label, dep) ->
-      let secure = Deployment.secure_list dep in
-      let dsts =
-        Context.sample ctx ("early-dst-" ^ label) secure
-          (Context.scaled ctx 80)
-      in
+      let dsts = Util.secure_dsts ctx dep ~k:80 in
       List.iter
         (fun policy ->
           let deltas =
-            Util.per_destination_changes ~pool:(Context.pool ctx) ctx.graph
-              policy dep ~attackers ~dsts
+            Util.per_destination_changes ~pool:(Context.pool ctx)
+              ~cache:(Context.cache ctx) ctx.graph policy dep ~attackers ~dsts
           in
           let mean f = Prelude.Stats.mean (Array.map (fun (_, b) -> f b) deltas) in
           Prelude.Table.add_row table

@@ -6,7 +6,16 @@
    3rd see only meagre gains; simplex S*BGP at stubs barely moves the
    numbers (the "error bars"); the Tier-2-only rollout grows more slowly
    with a smaller sec1/sec2 gap; securing only non-stubs gives ~6.2 /
-   4.7 / 2.2 point worst-case improvements. *)
+   4.7 / 2.2 point worst-case improvements.
+
+   Each (policy, rollout chain) runs through a persistent
+   {!Metric.H_metric.Evaluator}: consecutive steps only recompute the
+   pairs inside the deployment delta's dirty cone, and all per-pair
+   bounds land in the context-wide cache, so the four rollout variants
+   (which share attacker/destination samples where the modes agree)
+   reuse each other's work — in particular the empty-deployment
+   baselines are computed once per (policy, pair set), not once per
+   variant. *)
 
 let name = "rollout"
 let title = "Figures 7, 8, 11: metric improvement under deployment rollouts"
@@ -21,19 +30,22 @@ type step = {
 let dep_step ?simplex step_label dep = { step_label; dep; simplex }
 
 (* Average per-destination improvement over secure destinations d in S
-   (Figure 7(b)). *)
-let secure_dest_delta (ctx : Context.t) policy dep ~attackers ~n_dsts =
-  let secure = Deployment.secure_list dep in
-  if Array.length secure = 0 then None
+   (Figure 7(b)).  The destination sample is drawn once per step and
+   shared by the three policy lanes (the estimate is policy-independent
+   in distribution, and sharing triples the cache reuse).  It comes from
+   {!Util.secure_dsts} — the global priority order shared by the whole
+   rollout family: successive steps of a rollout have nested secure
+   sets, so their samples overlap maximally, and the per-destination
+   bounds cached at one step are exactly the ones the next step (and
+   sibling variants and experiments) need. *)
+let secure_dest_sample (ctx : Context.t) dep ~k = Util.secure_dsts ctx dep ~k
+
+let secure_dest_delta (ctx : Context.t) policy dep ~attackers ~dsts =
+  if Array.length dsts = 0 then None
   else begin
-    let dsts =
-      Context.sample ctx
-        ("rollout-securedst-" ^ Routing.Policy.name policy)
-        secure n_dsts
-    in
     let deltas =
-      Util.per_destination_changes ~pool:(Context.pool ctx) ctx.graph policy
-        dep ~attackers ~dsts
+      Util.per_destination_changes ~pool:(Context.pool ctx)
+        ~cache:(Context.cache ctx) ctx.graph policy dep ~attackers ~dsts
     in
     let avg f =
       Prelude.Stats.mean (Array.map (fun (_, b) -> f b) deltas)
@@ -45,10 +57,46 @@ let secure_dest_delta (ctx : Context.t) policy dep ~attackers ~n_dsts =
       }
   end
 
+(* One policy's state across a rollout chain: an evaluator per deployment
+   sequence (the simplex-stub variant is its own monotone chain, created
+   on first use), plus the empty-deployment baseline. *)
+type lane = {
+  policy : Routing.Policy.t;
+  base_ev : Metric.H_metric.Evaluator.t;
+  simplex_ev : Metric.H_metric.Evaluator.t Lazy.t;
+  baseline : Metric.H_metric.bounds;
+}
+
+(* Between consecutive steps, republish the cached per-destination bounds
+   of every retained sampled destination whose pair the dirty cone proves
+   unchanged — the next [per_destination_changes] then hits instead of
+   recomputing.  The cone is policy-independent, so one covers all
+   lanes. *)
+let carry_secure_dests (ctx : Context.t) lanes ~prev ~dep ~attackers ~dsts =
+  match prev with
+  | Some (old_dep, old_dsts) when Array.length dsts > 0 ->
+      let keep = Hashtbl.create 64 in
+      Array.iter (fun d -> Hashtbl.replace keep d ()) old_dsts;
+      let retained =
+        Array.to_list dsts |> List.filter (Hashtbl.mem keep) |> Array.of_list
+      in
+      if Array.length retained > 0 then begin
+        let cone =
+          Routing.Incremental.compute ctx.graph ~old_dep ~new_dep:dep
+            ~dsts:retained
+        in
+        let cache = Context.cache ctx in
+        List.iter
+          (fun lane ->
+            ignore
+              (Metric.H_metric.Cache.carry cache lane.policy cone ~old_dep
+                 ~new_dep:dep ~attackers ~dsts:retained))
+          lanes
+      end
+  | _ -> ()
+
 let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
-  let attackers =
-    Context.sample ctx "rollout-att" ctx.non_stubs (Context.scaled ctx 30)
-  in
+  let attackers = Util.rollout_attackers ctx ~k:30 in
   let dsts =
     match dsts_mode with
     | `All -> Context.sample ctx "rollout-dst" ctx.all (Context.scaled ctx 45)
@@ -69,38 +117,65 @@ let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
         ]
   in
   let pool = Context.pool ctx in
-  let baselines =
+  let cache = Context.cache ctx in
+  let empty = Deployment.empty (Topology.Graph.n ctx.graph) in
+  let lanes =
     List.map
       (fun policy ->
-        ( policy,
-          Util.h ~pool ctx.graph policy
-            (Deployment.empty (Topology.Graph.n ctx.graph))
-            pairs ))
+        let base_ev =
+          Metric.H_metric.Evaluator.create ~pool ~cache ctx.graph policy pairs
+        in
+        let baseline = Metric.H_metric.Evaluator.eval base_ev empty in
+        let simplex_ev =
+          (* Seed the simplex chain at the empty deployment too: that
+             first eval is pure cache hits, and every later step only
+             recomputes its dirty cone. *)
+          lazy
+            (let ev =
+               Metric.H_metric.Evaluator.create ~pool ~cache ctx.graph policy
+                 pairs
+             in
+             ignore (Metric.H_metric.Evaluator.eval ev empty);
+             ev)
+        in
+        { policy; base_ev; simplex_ev; baseline })
       Context.policies
   in
+  let sd_prev = ref None in
   List.iter
     (fun step ->
+      let sd_dsts =
+        secure_dest_sample ctx step.dep ~k:50
+      in
+      carry_secure_dests ctx lanes ~prev:!sd_prev ~dep:step.dep ~attackers
+        ~dsts:sd_dsts;
+      if Array.length sd_dsts > 0 then sd_prev := Some (step.dep, sd_dsts);
       List.iter
-        (fun policy ->
-          let baseline = List.assq policy baselines in
-          let with_s = Util.h ~pool ctx.graph policy step.dep pairs in
-          let delta = Metric.H_metric.bounds_improvement with_s baseline in
+        (fun lane ->
+          let with_s =
+            Metric.H_metric.Evaluator.eval lane.base_ev step.dep
+          in
+          let delta = Metric.H_metric.bounds_improvement with_s lane.baseline in
           let simplex_cell =
             match step.simplex with
             | None -> "-"
             | Some sdep ->
-                let ws = Util.h ~pool ctx.graph policy sdep pairs in
-                Util.pct_delta (Metric.H_metric.bounds_improvement ws baseline)
+                let ws =
+                  Metric.H_metric.Evaluator.eval
+                    (Lazy.force lane.simplex_ev)
+                    sdep
+                in
+                Util.pct_delta
+                  (Metric.H_metric.bounds_improvement ws lane.baseline)
           in
           let per_dest =
-            secure_dest_delta ctx policy step.dep ~attackers
-              ~n_dsts:(Context.scaled ctx 50)
+            secure_dest_delta ctx lane.policy step.dep ~attackers ~dsts:sd_dsts
           in
           Prelude.Table.add_row table
             [
               step.step_label;
               Deployment.describe step.dep;
-              Routing.Policy.name policy;
+              Routing.Policy.name lane.policy;
               Util.pct delta.Metric.H_metric.lb;
               Util.pct delta.Metric.H_metric.ub;
               simplex_cell;
@@ -108,7 +183,7 @@ let run_rollout (ctx : Context.t) ~steps ~dsts_mode =
               | None -> "-"
               | Some b -> Util.pct_delta b);
             ])
-        Context.policies;
+        lanes;
       Prelude.Table.add_separator table)
     steps;
   table
@@ -146,13 +221,15 @@ let run (ctx : Context.t) =
     "Figure 7(a/b) - Tier 1 + Tier 2 rollout (all destinations; simplex-stub variant as 'error bars'):\n";
   Buffer.add_string buf
     (Prelude.Table.to_string
-       (run_rollout ctx ~steps:(t1_t2_steps ctx ~with_cps:false ~simplex:true)
+       (run_rollout ctx
+          ~steps:(t1_t2_steps ctx ~with_cps:false ~simplex:true)
           ~dsts_mode:`All));
   Buffer.add_string buf
     "\nFigure 8 - Tier 1 + Tier 2 + CP rollout, metric over CP destinations:\n";
   Buffer.add_string buf
     (Prelude.Table.to_string
-       (run_rollout ctx ~steps:(t1_t2_steps ctx ~with_cps:true ~simplex:false)
+       (run_rollout ctx
+          ~steps:(t1_t2_steps ctx ~with_cps:true ~simplex:false)
           ~dsts_mode:`Cps));
   Buffer.add_string buf "\nFigure 11 - Tier 2 rollout:\n";
   Buffer.add_string buf

@@ -35,28 +35,62 @@ let partition_fractions_among ?pool g policy pairs ~sources =
          Metric.Partition.count_among ~ws g policy ~attacker ~dst ~sources))
 
 (* H over pairs, and the improvement over the empty deployment. *)
-let h ?pool g policy dep pairs = Metric.H_metric.h_metric ?pool g policy dep pairs
+let h ?pool ?cache g policy dep pairs =
+  Metric.H_metric.h_metric ?pool ?cache g policy dep pairs
 
-let delta_h ?pool g policy dep pairs =
-  let base = h ?pool g policy (Deployment.empty (Topology.Graph.n g)) pairs in
-  let with_s = h ?pool g policy dep pairs in
+let delta_h ?pool ?cache g policy dep pairs =
+  let base =
+    h ?pool ?cache g policy (Deployment.empty (Topology.Graph.n g)) pairs
+  in
+  let with_s = h ?pool ?cache g policy dep pairs in
   (base, with_s, Metric.H_metric.bounds_improvement with_s base)
 
 let header title paper =
   Printf.sprintf "=== %s ===\n(paper: %s)\n" title paper
 
+(* Shared samples for the Section-5 rollout-family experiments
+   (rollout, per-destination, early-adopters).  Attackers are prefixes
+   of one seeded pool draw (a prefix of a uniform sample without
+   replacement is itself uniform), and secure destinations come from one
+   global priority order, so samples nest across experiments and steps.
+   Deployments repeat across the family — Figure 9's scenario is exactly
+   the Figure 7(a) chain's middle step, Figures 10/12 are rollout
+   endpoints — so with nested samples the shared result cache serves the
+   repeated (policy, deployment, pair) evaluations across experiments. *)
+let rollout_attackers (ctx : Context.t) ~k =
+  let full =
+    Context.sample ctx "rollout-att" ctx.Context.non_stubs
+      (Context.scaled ctx 30)
+  in
+  Array.sub full 0 (min (Context.scaled ctx k) (Array.length full))
+
+let secure_dsts (ctx : Context.t) dep ~k =
+  Context.priority_sample ctx "rollout-securedst"
+    (Deployment.secure_list dep) (Context.scaled ctx k)
+
 (* Per-destination metric change, for the Figure 9/10/12 sequences.
    Parallelism is per destination (the coarsest independent unit here);
    the inner h_metric calls then run sequentially in their worker — a
    nested pool map would degrade to sequential anyway. *)
-let per_destination_changes ?pool g policy dep ~attackers ~dsts =
+let per_destination_changes ?pool ?cache g policy dep ~attackers ~dsts =
+  (* Intern the deployment versions up front so worker domains only take
+     the interning mutex on a version already present. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+      ignore (Metric.H_metric.Cache.intern c dep);
+      ignore
+        (Metric.H_metric.Cache.intern c
+           (Deployment.empty (Topology.Graph.n g))));
   Parallel.map ?pool
     (fun dst ->
       let base =
-        Metric.H_metric.h_metric_per_dst g policy
+        Metric.H_metric.h_metric_per_dst ?cache g policy
           (Deployment.empty (Topology.Graph.n g))
           ~attackers ~dst
       in
-      let with_s = Metric.H_metric.h_metric_per_dst g policy dep ~attackers ~dst in
+      let with_s =
+        Metric.H_metric.h_metric_per_dst ?cache g policy dep ~attackers ~dst
+      in
       (dst, Metric.H_metric.bounds_improvement with_s base))
     dsts

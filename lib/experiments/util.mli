@@ -30,6 +30,7 @@ val partition_fractions_among :
 
 val h :
   ?pool:Parallel.Pool.t ->
+  ?cache:Metric.H_metric.Cache.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
@@ -38,17 +39,37 @@ val h :
 
 val delta_h :
   ?pool:Parallel.Pool.t ->
+  ?cache:Metric.H_metric.Cache.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
   Metric.H_metric.pair array ->
   Metric.H_metric.bounds * Metric.H_metric.bounds * Metric.H_metric.bounds
-(** (baseline, with deployment, improvement). *)
+(** (baseline, with deployment, improvement).  [cache] (normally
+    {!Context.cache}) memoizes the per-pair bounds, so e.g. the empty
+    baseline is computed once per (policy, pair) across experiments. *)
 
 val header : string -> string -> string
 
+val rollout_attackers : Context.t -> k:int -> int array
+(** Attacker sample shared by the rollout-family experiments (rollout,
+    per-destination, early-adopters): the first [scaled k] elements of
+    one seeded scaled-30 draw from the non-stub pool (clipped to [k
+    <= 30]'s draw; a prefix of a uniform sample is uniform).  Sharing
+    the draw makes pair sets nest across experiments, so the shared
+    result cache serves repeated deployments across them. *)
+
+val secure_dsts : Context.t -> Deployment.t -> k:int -> int array
+(** [scaled k] secure destinations of a deployment, drawn through the
+    global {!Context.priority_sample} order (purpose
+    ["rollout-securedst"]).  Samples of nested secure sets — rollout
+    steps, or the same deployment at different [k] — overlap maximally,
+    which is what lets {!Metric.H_metric.Cache} entries carry across
+    steps and experiments.  Empty when the deployment secures nobody. *)
+
 val per_destination_changes :
   ?pool:Parallel.Pool.t ->
+  ?cache:Metric.H_metric.Cache.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->

@@ -7,8 +7,13 @@ let bounds_improvement after before =
 let bounds_scale k b = { lb = k *. b.lb; ub = k *. b.ub }
 
 let pp_bounds b =
-  if abs_float (b.ub -. b.lb) < 5e-4 then Printf.sprintf "%.1f%%" (100. *. b.lb)
-  else Printf.sprintf "[%.1f%%, %.1f%%]" (100. *. b.lb) (100. *. b.ub)
+  (* Collapse to a single number exactly when both endpoints render the
+     same at the printed precision — an epsilon test at a different
+     granularity (the old 5e-4) collapsed bounds that print differently,
+     e.g. 0.12% vs 0.16%. *)
+  let lo = Printf.sprintf "%.1f%%" (100. *. b.lb) in
+  let hi = Printf.sprintf "%.1f%%" (100. *. b.ub) in
+  if String.equal lo hi then lo else Printf.sprintf "[%s, %s]" lo hi
 
 type counts = { happy_lb : int; happy_ub : int; sources : int }
 
@@ -108,28 +113,181 @@ let pair_bounds ?ws g policy dep { attacker; dst } =
   in
   to_bounds (happy outcome)
 
-let h_metric ?progress ?pool ?(domains = 1) g policy dep pairs =
+(* Dense injective encoding of a policy for cache keys: the model index in
+   the low bits, the local-preference variant above. *)
+let lp_code (p : Routing.Policy.t) =
+  let open Routing.Policy in
+  match p.lp with Standard -> 0 | Lp_k k -> k
+
+let policy_code (p : Routing.Policy.t) =
+  let open Routing.Policy in
+  let midx =
+    match p.model with
+    | Security_first -> 0
+    | Security_second -> 1
+    | Security_third -> 2
+  in
+  (lp_code p * 4) + midx
+
+(* When the destination's origin is unsigned, no offer in the engine is
+   ever secure: the attacker's announcement is plain BGP, and the
+   destination's own root expands with [secure = false], so [is_full] is
+   never consulted and the three models' rank encodings all collapse to
+   the same (class, length) order.  The outcome — and hence the bounds —
+   is therefore independent of both the security model and the
+   deployment, and every policy sharing a local-preference variant can
+   share one cache entry under one reserved version. *)
+let normalized_code p = (lp_code p * 4) + 2
+
+let sec3_standard (p : Routing.Policy.t) =
+  let open Routing.Policy in
+  match (p.model, p.lp) with
+  | Security_third, Standard -> true
+  | (Security_first | Security_second | Security_third), _ -> false
+
+module Cache = struct
+  module Sc = Prelude.Shard_cache
+
+  type t = {
+    store : bounds Sc.t;
+    mu : Mutex.t; (* guards the version intern table *)
+    mutable versions : (int * Deployment.t * int) list;
+    mutable next : int;
+  }
+
+  let create ?shards () =
+    {
+      store = Sc.create ?shards ();
+      mu = Mutex.create ();
+      versions = [];
+      next = 0;
+    }
+
+  let intern t dep =
+    let fp = Deployment.fingerprint dep in
+    Mutex.lock t.mu;
+    let rec find = function
+      | [] ->
+          let v = t.next in
+          t.next <- v + 1;
+          t.versions <- (fp, dep, v) :: t.versions;
+          v
+      | (fp', dep', v) :: rest ->
+          if fp' = fp && Deployment.equal dep' dep then v else find rest
+    in
+    let v = find t.versions in
+    Mutex.unlock t.mu;
+    v
+
+  (* Interned versions start at 0, so this reserved slot never collides. *)
+  let unsigned_version = -1
+
+  let key policy dep ~version { attacker; dst } =
+    if Deployment.signs_origin dep dst then
+      { Sc.k1 = policy_code policy; k2 = version; k3 = attacker; k4 = dst }
+    else
+      (* See [normalized_code]: the outcome for an unsigned destination is
+         independent of the model and the deployment, so all such entries
+         share one slot per local-preference variant. *)
+      {
+        Sc.k1 = normalized_code policy;
+        k2 = unsigned_version;
+        k3 = attacker;
+        k4 = dst;
+      }
+
+  let find t policy dep ~version p = Sc.find t.store (key policy dep ~version p)
+
+  let store t policy dep ~version p b =
+    Sc.store t.store (key policy dep ~version p) b
+
+  let length t = Sc.length t.store
+  let hits t = Sc.hits t.store
+  let misses t = Sc.misses t.store
+
+  (* Propagate clean pairs of a deployment step: any (attacker, dst) the
+     dirty cone clears keeps its old-deployment value bit-for-bit, so the
+     cached entry can be republished under the new version without touching
+     the engine.  Returns how many entries were carried. *)
+  let carry t policy cone ~old_dep ~new_dep ~attackers ~dsts =
+    let old_v = intern t old_dep and new_v = intern t new_dep in
+    let carried = ref 0 in
+    Array.iter
+      (fun dst ->
+        Array.iter
+          (fun attacker ->
+            if
+              attacker <> dst
+              && not (Routing.Incremental.dirty_pair cone ~attacker ~dst)
+            then
+              let p = { attacker; dst } in
+              match find t policy old_dep ~version:old_v p with
+              | Some b ->
+                  store t policy new_dep ~version:new_v p b;
+                  incr carried
+              | None -> ())
+          attackers)
+      dsts;
+    !carried
+
+  let clear t =
+    Mutex.lock t.mu;
+    t.versions <- [];
+    t.next <- 0;
+    Mutex.unlock t.mu;
+    Sc.clear t.store
+end
+
+let h_metric ?progress ?pool ?(domains = 1) ?cache g policy dep pairs =
   let total = Array.length pairs in
   if total = 0 then { lb = 0.; ub = 0. }
   else begin
+    let find, remember =
+      match cache with
+      | None -> ((fun _ -> None), fun _ _ -> ())
+      | Some c ->
+          let version = Cache.intern c dep in
+          ( (fun p -> Cache.find c policy dep ~version p),
+            fun p b -> Cache.store c policy dep ~version p b )
+    in
+    let compute_pair ws p =
+      match find p with
+      | Some b -> b
+      | None ->
+          let b = pair_bounds ~ws g policy dep p in
+          remember p b;
+          b
+    in
     let use_pool =
       match pool with
       | Some p -> Parallel.Pool.size p > 1
       | None -> domains > 1
     in
     let per_pair =
-      if use_pool then
+      if use_pool then begin
         (* Each domain (pool worker or caller) reuses its own private
-           engine workspace across the pairs it steals. *)
+           engine workspace across the pairs it steals.  Progress is
+           reported from the caller's share of the stolen work only: the
+           caller participates in every pool map, so the callback still
+           ticks, but its [done] count stops short of [total]. *)
+        let caller = (Domain.self () :> int) in
+        let caller_done = ref 0 in
         Parallel.map ?pool ~domains
           (fun p ->
-            pair_bounds ~ws:(Routing.Engine.Workspace.local ()) g policy dep p)
+            let b = compute_pair (Routing.Engine.Workspace.local ()) p in
+            (match progress with
+            | Some f when (Domain.self () :> int) = caller ->
+                incr caller_done;
+                f !caller_done total
+            | _ -> ());
+            b)
           pairs
+      end
       else begin
         let ws = Routing.Engine.Workspace.local () in
         Array.mapi
           (fun i p ->
-            let b = pair_bounds ~ws g policy dep p in
+            let b = compute_pair ws p in
             (match progress with Some f -> f (i + 1) total | None -> ());
             b)
           pairs
@@ -144,11 +302,146 @@ let h_metric ?progress ?pool ?(domains = 1) g policy dep pairs =
     { lb = !lb /. float_of_int total; ub = !ub /. float_of_int total }
   end
 
-let h_metric_per_dst ?pool g policy dep ~attackers ~dst =
+let h_metric_per_dst ?pool ?cache g policy dep ~attackers ~dst =
   let ps =
     Array.to_list attackers
     |> List.filter_map (fun m ->
            if m = dst then None else Some { attacker = m; dst })
     |> Array.of_list
   in
-  h_metric ?pool g policy dep ps
+  h_metric ?pool ?cache g policy dep ps
+
+module Evaluator = struct
+  type stats = {
+    computed : int;
+    carried : int;
+    cache_hits : int;
+    thm_skips : int;
+  }
+
+  type t = {
+    g : Topology.Graph.t;
+    policy : Routing.Policy.t;
+    pairs : pair array;
+    dsts : int array; (* distinct destinations of [pairs] *)
+    pool : Parallel.Pool.t option;
+    cache : Cache.t;
+    mutable prev : (Deployment.t * bounds array) option;
+    mutable st : stats;
+  }
+
+  let distinct_dsts pairs =
+    let seen = Hashtbl.create 64 in
+    let acc = ref [] in
+    Array.iter
+      (fun p ->
+        if not (Hashtbl.mem seen p.dst) then begin
+          Hashtbl.add seen p.dst ();
+          acc := p.dst :: !acc
+        end)
+      pairs;
+    Array.of_list !acc
+
+  let create ?pool ?cache g policy pairs =
+    let cache = match cache with Some c -> c | None -> Cache.create () in
+    {
+      g;
+      policy;
+      pairs = Array.copy pairs;
+      dsts = distinct_dsts pairs;
+      pool;
+      cache;
+      prev = None;
+      st = { computed = 0; carried = 0; cache_hits = 0; thm_skips = 0 };
+    }
+
+  let mean pairs vals =
+    let total = Array.length pairs in
+    if total = 0 then { lb = 0.; ub = 0. }
+    else begin
+      let lb = ref 0. and ub = ref 0. in
+      Array.iter
+        (fun b ->
+          lb := !lb +. b.lb;
+          ub := !ub +. b.ub)
+        vals;
+      { lb = !lb /. float_of_int total; ub = !ub /. float_of_int total }
+    end
+
+  let eval t dep =
+    let version = Cache.intern t.cache dep in
+    let n = Array.length t.pairs in
+    let vals = Array.make n { lb = 0.; ub = 0. } in
+    let carried = ref 0 and hits = ref 0 and skips = ref 0 in
+    let to_compute = ref [] in
+    let classify_fresh i p =
+      match Cache.find t.cache t.policy dep ~version p with
+      | Some b ->
+          vals.(i) <- b;
+          incr hits
+      | None -> to_compute := i :: !to_compute
+    in
+    (match t.prev with
+    | Some (old_dep, old_vals) when Deployment.equal old_dep dep ->
+        Array.blit old_vals 0 vals 0 n;
+        carried := n
+    | Some (old_dep, old_vals) ->
+        let cone =
+          Routing.Incremental.compute t.g ~old_dep ~new_dep:dep ~dsts:t.dsts
+        in
+        let thm_ok = sec3_standard t.policy && Routing.Incremental.monotone cone in
+        Array.iteri
+          (fun i p ->
+            if
+              not
+                (Routing.Incremental.dirty_pair cone ~attacker:p.attacker
+                   ~dst:p.dst)
+            then begin
+              vals.(i) <- old_vals.(i);
+              incr carried
+            end
+            else if thm_ok && old_vals.(i).lb >= 1.0 then begin
+              (* Theorem 6.1: under security-3rd with standard local
+                 preference, per-source happiness is monotone in the
+                 deployment, so a pair already at {1, 1} stays there. *)
+              vals.(i) <- old_vals.(i);
+              incr skips
+            end
+            else classify_fresh i p)
+          t.pairs
+    | None -> Array.iteri classify_fresh t.pairs);
+    let idxs = Array.of_list (List.rev !to_compute) in
+    if Array.length idxs > 0 then begin
+      let computed =
+        Parallel.map ?pool:t.pool ~domains:1
+          (fun i ->
+            pair_bounds
+              ~ws:(Routing.Engine.Workspace.local ())
+              t.g t.policy dep t.pairs.(i))
+          idxs
+      in
+      Array.iteri (fun j i -> vals.(i) <- computed.(j)) idxs
+    end;
+    (* Publish every value (carried ones included) under the new version:
+       sibling evaluators and plain [h_metric ~cache] calls sharing this
+       cache then hit on the whole step. *)
+    Array.iteri
+      (fun i p -> Cache.store t.cache t.policy dep ~version p vals.(i))
+      t.pairs;
+    t.prev <- Some (dep, vals);
+    t.st <-
+      {
+        computed = t.st.computed + Array.length idxs;
+        carried = t.st.carried + !carried;
+        cache_hits = t.st.cache_hits + !hits;
+        thm_skips = t.st.thm_skips + !skips;
+      };
+    mean t.pairs vals
+
+  let values t =
+    match t.prev with
+    | None -> invalid_arg "Evaluator.values: no deployment evaluated yet"
+    | Some (_, vals) -> Array.copy vals
+
+  let stats t = t.st
+end

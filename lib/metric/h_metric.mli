@@ -22,7 +22,11 @@ val bounds_improvement : bounds -> bounds -> bounds
     how the paper's Figures 7-12 report changes in the metric. *)
 
 val bounds_scale : float -> bounds -> bounds
+
 val pp_bounds : bounds -> string
+(** Renders at 0.1-percentage-point precision; the bounds collapse to a
+    single number exactly when both endpoints print identically at that
+    precision, so distinct printed bounds are never conflated. *)
 
 type counts = { happy_lb : int; happy_ub : int; sources : int }
 
@@ -49,10 +53,78 @@ val pairs :
     uniform sample of [max_pairs] of them when the product exceeds
     [max_pairs] ([rng] required in that case). *)
 
+val pair_bounds :
+  ?ws:Routing.Engine.Workspace.t ->
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  Deployment.t ->
+  pair ->
+  bounds
+(** Happy-source bounds of a single (attacker, destination) pair — one
+    stable-state computation.  This is the per-pair quantity {!h_metric}
+    averages and the unit the incremental machinery caches and checks. *)
+
+(** Concurrent memo cache of per-pair {!bounds}, keyed by
+    policy x deployment version x pair.  Deployment versions are interned
+    by content ({!Deployment.fingerprint} + {!Deployment.equal}), so
+    structurally equal deployments share entries.  Safe to share across
+    {!Parallel.Pool} worker domains (sharded, per-shard mutexes).
+
+    Keys are {e normalized}: when the pair's destination does not sign its
+    origin under the keyed deployment, no announcement in the stable state
+    is ever secure, so the outcome is independent of both the security
+    model and the deployment.  All such entries collapse onto one reserved
+    slot per local-preference variant — [H(emptyset)] baselines are shared
+    across the three models, and unsigned destinations are shared across
+    every deployment of a rollout.
+
+    A cache is only meaningful for a {e single} topology: keys do not
+    include the graph, so never reuse one cache across graphs. *)
+module Cache : sig
+  type t
+
+  val create : ?shards:int -> unit -> t
+  val intern : t -> Deployment.t -> int
+  (** Stable small-int version of a deployment's content. *)
+
+  val find :
+    t -> Routing.Policy.t -> Deployment.t -> version:int -> pair -> bounds option
+  (** [find t policy dep ~version p] with [version = intern t dep].  The
+      deployment is consulted only for key normalization (does [p.dst]
+      sign?); the version carries the identity. *)
+
+  val store :
+    t -> Routing.Policy.t -> Deployment.t -> version:int -> pair -> bounds -> unit
+
+  val carry :
+    t ->
+    Routing.Policy.t ->
+    Routing.Incremental.t ->
+    old_dep:Deployment.t ->
+    new_dep:Deployment.t ->
+    attackers:int array ->
+    dsts:int array ->
+    int
+  (** [carry t policy cone ~old_dep ~new_dep ~attackers ~dsts] republishes,
+      under [new_dep]'s version, the cached bounds of every
+      (attacker, dst) pair the dirty [cone] proves unchanged by the
+      [old_dep -> new_dep] delta.  [cone] must have been computed for that
+      delta with a destination set covering [dsts].  Pairs with no cached
+      entry under [old_dep] are skipped.  Returns the number of entries
+      carried.  This is how per-destination rollout columns reuse the
+      previous step without a full {!Evaluator} over their pair set. *)
+
+  val length : t -> int
+  val hits : t -> int
+  val misses : t -> int
+  val clear : t -> unit
+end
+
 val h_metric :
   ?progress:(int -> int -> unit) ->
   ?pool:Parallel.Pool.t ->
   ?domains:int ->
+  ?cache:Cache.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
@@ -64,11 +136,20 @@ val h_metric :
     the graph is read-only).  Every domain — including the sequential
     path — reuses its private {!Routing.Engine.Workspace}, and the
     per-pair results are reduced in input order, so the value is
-    bit-identical whatever the parallelism.  [progress] is only invoked
-    in the sequential case. *)
+    bit-identical whatever the parallelism.
+
+    [progress done total] ticks after each pair on the sequential path.
+    On the pooled path it is invoked from the calling domain only, for
+    the caller's share of the stolen work — it still ticks throughout the
+    job but [done] stops short of [total]; it never fires from a worker
+    domain.
+
+    [cache] memoizes per-pair bounds across calls (hits skip the engine
+    entirely); the cache must belong to this graph. *)
 
 val h_metric_per_dst :
   ?pool:Parallel.Pool.t ->
+  ?cache:Cache.t ->
   Topology.Graph.t ->
   Routing.Policy.t ->
   Deployment.t ->
@@ -76,3 +157,54 @@ val h_metric_per_dst :
   dst:int ->
   bounds
 (** [H_{M,d}(S)] for a single destination. *)
+
+(** Incremental evaluation of [H] along a deployment trajectory.
+
+    An evaluator owns a pair set and remembers the per-pair bounds of the
+    last deployment it saw.  [eval] on the next deployment computes the
+    {!Routing.Incremental} dirty cone of the delta and recomputes {e only}
+    the dirty pairs, carrying the remembered bounds for the clean ones —
+    plus a Theorem 6.1 shortcut: under security-3rd / standard local
+    preference on a monotone delta, a pair already at [{1, 1}] provably
+    stays there.  Results are bit-identical to a from-scratch
+    {!h_metric} on every step (same input-order reduction, and carried
+    values are sound by construction); the [incremental] check pass and
+    the qcheck properties enforce this.
+
+    All values are also published to the (shareable) {!Cache}, so sibling
+    evaluators over overlapping pair sets reuse each other's work. *)
+module Evaluator : sig
+  type t
+
+  type stats = {
+    computed : int;  (** pairs recomputed with the engine *)
+    carried : int;  (** pairs carried clean from the previous step *)
+    cache_hits : int;  (** pairs served from the shared cache *)
+    thm_skips : int;  (** pairs carried via the Theorem 6.1 shortcut *)
+  }
+
+  val create :
+    ?pool:Parallel.Pool.t ->
+    ?cache:Cache.t ->
+    Topology.Graph.t ->
+    Routing.Policy.t ->
+    pair array ->
+    t
+  (** A fresh evaluator (no deployment seen yet).  [pool] parallelizes
+      the recomputed pairs; omitted, they run sequentially.  [cache]
+      shares memoized bounds with other users; omitted, the evaluator
+      creates a private one. *)
+
+  val eval : t -> Deployment.t -> bounds
+  (** [H] over the evaluator's pairs at [dep], reusing everything the
+      delta from the previously evaluated deployment provably preserves.
+      Deployments may arrive in any order (non-monotone deltas just get a
+      wider cone), but consecutive similar deployments reuse the most. *)
+
+  val values : t -> bounds array
+  (** Per-pair bounds at the last evaluated deployment, in pair order.
+      Raises [Invalid_argument] before the first {!eval}. *)
+
+  val stats : t -> stats
+  (** Cumulative pair-level counters across all {!eval} calls. *)
+end

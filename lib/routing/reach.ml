@@ -5,14 +5,15 @@ type t = {
   root : int;
 }
 
-let compute g ~root ?(avoid = -1) () =
+let compute g ~root ?(avoid = -1) ?only () =
   let n = Topology.Graph.n g in
   if root < 0 || root >= n then invalid_arg "Reach.compute: root out of range";
   if root = avoid then invalid_arg "Reach.compute: root = avoid";
   let customer_set = Prelude.Bitset.create n in
   let peer_set = Prelude.Bitset.create n in
   let provider_set = Prelude.Bitset.create n in
-  let ok v = v <> avoid && v <> root in
+  let allowed = match only with None -> fun _ -> true | Some f -> f in
+  let ok v = v <> avoid && v <> root && allowed v in
   (* Customer routes: climb customer-to-provider edges from the root. *)
   let queue = Queue.create () in
   let push_customer v =

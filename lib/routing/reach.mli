@@ -17,9 +17,17 @@
 
 type t
 
-val compute : Topology.Graph.t -> root:int -> ?avoid:int -> unit -> t
+val compute :
+  Topology.Graph.t -> root:int -> ?avoid:int -> ?only:(int -> bool) -> unit -> t
 (** Closure of perceivable routes to [root], skipping the AS [avoid]
-    entirely.  The root belongs to none of the three sets. *)
+    entirely.  The root belongs to none of the three sets.
+
+    [only] restricts membership: an AS with [only v = false] joins no
+    set and no route may transit it (the root itself is exempt).  With
+    [only = Deployment.is_full dep] the closure is exactly the set of
+    ASes that could hold a {e secure} perceivable route to the root —
+    every hop validates and re-signs — which is what the incremental
+    dirty-cone computation ({!Incremental}) uses. *)
 
 val customer : t -> int -> bool
 (** Has a perceivable customer route to the root. *)

@@ -41,6 +41,51 @@ let test_context_sampling () =
   let s3 = Experiments.Context.sample c "p3" [| 1; 2; 3 |] 10 in
   Alcotest.(check int) "clipped" 3 (Array.length s3)
 
+let test_sample_key_reuse () =
+  let c = Lazy.force ctx in
+  let pool1 = [| 2; 4; 6; 8; 10; 12 |] in
+  let s1 = Experiments.Context.sample c "reuse" pool1 3 in
+  (* Replaying the identical draw is legitimate... *)
+  Alcotest.(check (array int)) "identical replay allowed" s1
+    (Experiments.Context.sample c "reuse" pool1 3);
+  (* ...but the same purpose against a different pool or size would
+     silently replay one index stream over unrelated data — the Figure
+     7(b) secure-destination bug — so it must raise. *)
+  Alcotest.check_raises "different pool rejected"
+    (Invalid_argument
+       "Context.sample: purpose \"reuse\" reused with a different pool or size")
+    (fun () -> ignore (Experiments.Context.sample c "reuse" [| 1; 3; 5 |] 3));
+  Alcotest.check_raises "different size rejected"
+    (Invalid_argument
+       "Context.sample: purpose \"reuse\" reused with a different pool or size")
+    (fun () -> ignore (Experiments.Context.sample c "reuse" pool1 4))
+
+let test_priority_sample () =
+  let c = Lazy.force ctx in
+  let all = c.Experiments.Context.all in
+  let small = Array.sub all 0 200 in
+  let big = Array.sub all 0 400 in
+  let s_small = Experiments.Context.priority_sample c "ps" small 50 in
+  let s_big = Experiments.Context.priority_sample c "ps" big 50 in
+  Alcotest.(check int) "k elements" 50 (Array.length s_small);
+  Alcotest.(check (array int)) "deterministic" s_small
+    (Experiments.Context.priority_sample c "ps" small 50);
+  let mem pool v = Array.exists (( = ) v) pool in
+  Alcotest.(check bool) "subset of pool" true
+    (Array.for_all (mem small) s_small);
+  (* Nested pools give nested-ish samples: every member of the bigger
+     pool's sample that lies in the smaller pool must also be in the
+     smaller pool's sample (the priority order is global). *)
+  Alcotest.(check bool) "coupled across nested pools" true
+    (Array.for_all
+       (fun v -> (not (mem small v)) || mem s_small v)
+       s_big);
+  (* Clips like [sample]. *)
+  Alcotest.(check int) "clipped" 3
+    (Array.length (Experiments.Context.priority_sample c "ps" [| 7; 8; 9 |] 10));
+  (* Unlike [sample], reuse across pools is the point — no exception. *)
+  ignore (Experiments.Context.priority_sample c "ps" big 20)
+
 let test_context_scaled () =
   let c = Experiments.Context.make ~n:1200 ~scale:2.5 () in
   Alcotest.(check int) "scaled up" 25 (Experiments.Context.scaled c 10);
@@ -125,6 +170,9 @@ let () =
           Alcotest.test_case "basics" `Quick test_context_basics;
           Alcotest.test_case "deterministic" `Quick test_context_deterministic;
           Alcotest.test_case "sampling" `Quick test_context_sampling;
+          Alcotest.test_case "sample-key reuse guard" `Quick
+            test_sample_key_reuse;
+          Alcotest.test_case "priority sampling" `Quick test_priority_sample;
           Alcotest.test_case "scaled" `Quick test_context_scaled;
           Alcotest.test_case "ixp variant" `Quick test_ixp_context;
           Alcotest.test_case "registry" `Quick test_registry;

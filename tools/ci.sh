@@ -23,6 +23,13 @@ else
 fi
 
 echo "== sbgp check (smoke)"
-dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants
+dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants \
+  --incremental --inc-pairs 4
+
+echo "== rollout bench (smoke)"
+# Tiny-scale run of the incremental-vs-scratch rollout benchmark: the
+# bit-identity cross-check inside the bench is the point, not the timing.
+SBGP_BENCH_ONLY=rollout SBGP_BENCH_N=300 SBGP_SCALE=0.2 \
+  SBGP_BENCH_LABEL=ci dune exec bench/main.exe -- --json
 
 echo "ci: all green"

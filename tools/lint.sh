@@ -4,8 +4,9 @@
 #
 # Rules:
 #   1. No polymorphic comparison (bare `compare`, `Stdlib.compare`,
-#      `Stdlib.(=)`, `Stdlib.(<>)`) in lib/routing, lib/metric or
-#      lib/parallel.  These run in the per-pair inner loops; polymorphic
+#      `Stdlib.(=)`, `Stdlib.(<>)`) in lib/routing, lib/metric,
+#      lib/parallel, or the shared result cache (lib/prelude/
+#      shard_cache.ml).  These run in the per-pair inner loops; polymorphic
 #      compare boxes its arguments, defeats branch prediction, and
 #      silently does the wrong thing on records with irrelevant fields.
 #      Use Int.compare / String.compare / Policy.compare_routes or a
@@ -25,6 +26,9 @@ status=0
 # match.
 hot_paths="lib/routing lib/metric lib/parallel"
 hot_files=$(find $hot_paths -name '*.ml' 2>/dev/null)
+# The shared result cache backs every Metric.Cache lookup on the rollout
+# fast path; hold it to the same standard as the directories above.
+hot_files="$hot_files lib/prelude/shard_cache.ml"
 if [ -n "$hot_files" ]; then
   # Comment filter is line-local: a mention of `compare` after `(*` on
   # the same line is ignored; multi-line comment bodies are not special-
