@@ -26,9 +26,16 @@
    machinery (dirty-cone evaluators, the shared normalized cache, clean
    per-destination carries) and checks both are bit-identical.
 
+   Part 5 is the per-pair kernel microbenchmark: the packed CSR engine
+   against the preserved pre-change kernel (Routing.Reference) on the
+   same (destination, attacker) pairs — an identity gate first, then
+   pairs/second and minor-heap words per pair for both sides.
+
    Environment knobs (additional): SBGP_BENCH_ONLY — comma-separated
-   subset of the parts "experiments", "micro", "h_metric", "rollout" to
-   run (default: all).
+   subset of the parts "experiments", "micro", "h_metric", "rollout",
+   "kernel" to run (default: all); SBGP_BENCH_KERNEL_PAIRS (pair count
+   for the kernel part, default 48) and SBGP_BENCH_KERNEL_REPS
+   (alternating measurement rounds per side, default 3).
 
    With --json on the command line (or SBGP_BENCH_JSON=1), all timings
    are additionally written to BENCH_<label>.json, where <label> comes
@@ -626,6 +633,114 @@ let run_rollout_bench () =
     ("identical", if identical then 1. else 0.);
   ]
 
+(* Per-pair kernel microbenchmark: packed CSR engine vs the pre-change
+   kernel, both through reused workspaces (plus the packed engine with
+   fresh buffers, to price the workspace).  The identity gate runs
+   first — timing a kernel that diverges would be meaningless — and the
+   sides alternate round-robin so drift hits both equally. *)
+let run_kernel_bench () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let k = max 2 (env_int "SBGP_BENCH_KERNEL_PAIRS" 48) in
+  let reps = max 1 (env_int "SBGP_BENCH_KERNEL_REPS" 3) in
+  let result =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n)
+      (Core.Rng.create seed)
+  in
+  let g = result.Core.Topogen.graph in
+  let nn = Core.Graph.n g in
+  let tiers = Core.Topogen.tiers result in
+  let dep = Core.Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let attackers = Core.Tiers.non_stubs tiers in
+  let rng = Core.Rng.create (seed + 11) in
+  let pairs =
+    Array.init k (fun i ->
+        let dst = Core.Rng.int rng nn in
+        if i mod 4 = 3 then (dst, None)
+        else
+          let m = attackers.(Core.Rng.int rng (Array.length attackers)) in
+          if m = dst then (dst, None) else (dst, Some m))
+  in
+  let policies =
+    List.map Core.Policy.make Core.Policy.all_models
+    @ [ Core.Policy.make ~lp:(Core.Policy.Lp_k 2) Core.Policy.Security_third ]
+  in
+  (match Core.Check.Kernel.analyze g policies dep pairs with
+  | _, [] -> ()
+  | _, d :: _ ->
+      failwith
+        ("kernel bench: identity gate failed: "
+        ^ Core.Check.Diagnostic.to_string d));
+  let tiebreaks = [ Core.Engine.Bounds; Core.Engine.Lowest_next_hop ] in
+  let runs_per_round = Array.length pairs * List.length policies * 2 in
+  let round f =
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun policy ->
+        Array.iter
+          (fun (dst, attacker) ->
+            List.iter (fun tiebreak -> f ~tiebreak policy ~dst ~attacker)
+              tiebreaks)
+          pairs)
+      policies;
+    (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
+  in
+  let ews = Core.Engine.Workspace.create nn in
+  let rws = Core.Reference.Workspace.create nn in
+  let packed ~tiebreak policy ~dst ~attacker =
+    ignore (Core.Engine.compute ~tiebreak ~ws:ews g policy dep ~dst ~attacker)
+  in
+  let packed_fresh ~tiebreak policy ~dst ~attacker =
+    ignore (Core.Engine.compute ~tiebreak g policy dep ~dst ~attacker)
+  in
+  let reference ~tiebreak policy ~dst ~attacker =
+    ignore
+      (Core.Reference.compute ~tiebreak ~ws:rws g policy dep ~dst ~attacker)
+  in
+  (* One untimed warmup round per side (page in the CSR view, size the
+     workspaces), then [reps] timed rounds each, interleaved. *)
+  ignore (round packed);
+  ignore (round packed_fresh);
+  ignore (round reference);
+  let sides = [| (packed, ref []); (packed_fresh, ref []); (reference, ref []) |] in
+  for _ = 1 to reps do
+    Array.iter (fun (f, acc) -> acc := round f :: !acc) sides
+  done;
+  let total acc f = List.fold_left (fun s x -> s +. f x) 0. !acc in
+  let stats (_, acc) =
+    let s = total acc fst in
+    let words = total acc snd in
+    let runs = float_of_int (runs_per_round * reps) in
+    (runs /. s, words /. runs)
+  in
+  let eng_rate, eng_words = stats sides.(0) in
+  let fresh_rate, fresh_words = stats sides.(1) in
+  let ref_rate, ref_words = stats sides.(2) in
+  let speedup = eng_rate /. ref_rate in
+  Printf.printf
+    "#### Kernel (n=%d, %d pairs x %d policies x 2 tiebreaks x %d reps) ####\n\
+    \     packed+ws   %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     packed      %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     reference   %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     speedup (packed+ws vs reference): x%.2f\n\n\
+     %!"
+    n k (List.length policies) reps eng_rate eng_words fresh_rate fresh_words
+    ref_rate ref_words speedup;
+  [
+    ("pairs", float_of_int (Array.length pairs));
+    ("runs", float_of_int (runs_per_round * reps));
+    ("engine_pairs_per_s", eng_rate);
+    ("engine_fresh_pairs_per_s", fresh_rate);
+    ("reference_pairs_per_s", ref_rate);
+    ("engine_minor_words_per_pair", eng_words);
+    ("engine_fresh_minor_words_per_pair", fresh_words);
+    ("reference_minor_words_per_pair", ref_words);
+    ("speedup", speedup);
+    ("identity_gate", 1.);
+  ]
+
 (* Minimal JSON emission — no dependencies, flat string/number maps. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -690,6 +805,7 @@ let () =
   if part "micro" then add "micro_ns_per_run" (run_micro ());
   if part "h_metric" then add "h_metric" (run_h_metric_comparison ());
   if part "rollout" then add "rollout" (run_rollout_bench ());
+  if part "kernel" then add "kernel" (run_kernel_bench ());
   let total_s = Unix.gettimeofday () -. t0 in
   if json then begin
     let label =

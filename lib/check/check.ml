@@ -1,6 +1,7 @@
 module Diagnostic = Diagnostic
 module Lint = Lint
 module Verify = Verify
+module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
 module Mutants = Mutants
@@ -131,6 +132,13 @@ let theorem_pass options g =
     done;
   (!items, !diags)
 
+let kernel_pass options g =
+  let n = G.n g in
+  let rng = Rng.create (options.seed + 4) in
+  let pairs = sample_pairs rng n (max 1 (options.pairs / 2)) in
+  Kernel.analyze ~attacker_claim:options.attacker_claim g options.policies
+    (dep_mixed n) pairs
+
 let determinism_pass options g =
   let n = G.n g in
   let rng = Rng.create (options.seed + 2) in
@@ -160,6 +168,8 @@ let run ?(options = default_options) ?tiers ?base ?deployments g =
     let report = D.add_pass report "verify" ~items:vitems vdiags in
     let titems, tdiags = theorem_pass options g in
     let report = D.add_pass report "theorems" ~items:titems tdiags in
+    let kitems, kdiags = kernel_pass options g in
+    let report = D.add_pass report "kernel" ~items:kitems kdiags in
     let ditems, ddiags = determinism_pass options g in
     let report = D.add_pass report "determinism" ~items:ditems ddiags in
     let iitems, idiags = incremental_pass options g in

@@ -9,6 +9,9 @@
       are re-derived from first principles and checked for optimality,
       export compliance, tiebreak semantics, secure-path containment and
       realizability, plus the paper's Theorem 3.1 / 6.1 assertions;
+    + {b kernel} ({!Kernel}) — the packed CSR engine is replayed against
+      the preserved pre-change kernel ({!Routing.Reference}) and the
+      Appendix-B staged specification, demanding bit-identical outcomes;
     + {b determinism} ({!Determinism}) — the same batch replayed across
       domain counts and workspace-reuse settings must be bit-identical
       to the sequential fresh-buffer baseline;
@@ -25,6 +28,7 @@
 module Diagnostic = Diagnostic
 module Lint = Lint
 module Verify = Verify
+module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
 module Mutants = Mutants

@@ -103,6 +103,9 @@ let catalogue =
     ( "thm/sec3-monotone",
       "happiness decreased when the deployment grew under security 3rd \
        (Theorem 6.1)" );
+    ( "kernel/divergence",
+      "the packed CSR engine disagrees with the reference kernel or the \
+       staged specification on some outcome field" );
     ( "det/divergence",
       "a (domains, workspace) configuration diverged from the sequential \
        fresh-buffer baseline" );

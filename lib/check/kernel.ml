@@ -1,0 +1,113 @@
+module D = Diagnostic
+module O = Routing.Outcome
+module P = Routing.Policy
+module E = Routing.Engine
+module R = Routing.Reference
+module S = Routing.Staged
+
+let class_code out v =
+  if v = O.dst out || Some v = O.attacker out then 3
+  else
+    match O.route_class out v with
+    | P.Customer -> 0
+    | P.Peer -> 1
+    | P.Provider -> 2
+
+(* First field-level disagreement, or None when the outcomes agree.
+   [parents] is off when comparing against the staged specification,
+   whose representative next hop is not part of its contract. *)
+let mismatch ?(parents = true) ~want ~got () =
+  let n = O.n want in
+  if O.n got <> n then
+    Some (Printf.sprintf "outcome sizes differ (%d vs %d)" n (O.n got))
+  else begin
+    let res = ref None in
+    let cell v name a b =
+      if !res = None && a <> b then
+        res := Some (Printf.sprintf "AS %d: %s %d/%d" v name a b)
+    in
+    let v = ref 0 in
+    while !res = None && !v < n do
+      let u = !v in
+      let ra = O.reached want u and rb = O.reached got u in
+      cell u "reached" (Bool.to_int ra) (Bool.to_int rb);
+      if ra && rb then begin
+        cell u "length" (O.length want u) (O.length got u);
+        cell u "class" (class_code want u) (class_code got u);
+        cell u "secure"
+          (Bool.to_int (O.secure want u))
+          (Bool.to_int (O.secure got u));
+        cell u "to-d" (Bool.to_int (O.to_d want u)) (Bool.to_int (O.to_d got u));
+        cell u "to-m" (Bool.to_int (O.to_m want u)) (Bool.to_int (O.to_m got u));
+        if parents then cell u "next-hop" (O.next_hop want u) (O.next_hop got u)
+      end;
+      incr v
+    done;
+    !res
+  end
+
+let tb_name = function E.Bounds -> "bounds" | E.Lowest_next_hop -> "lnh"
+
+let analyze ?(attacker_claim = 1) g policies dep pairs =
+  let ws = E.Workspace.create 0 in
+  let rws = R.Workspace.create 0 in
+  let items = ref 0 in
+  let diags = ref [] in
+  let report ~policy ~tiebreak ~dst ~attacker ~engine detail =
+    let subjects = match attacker with None -> [ dst ] | Some m -> [ dst; m ] in
+    let attacker_s =
+      match attacker with
+      | None -> "no attacker"
+      | Some m -> Printf.sprintf "attacker %d" m
+    in
+    diags :=
+      !diags
+      @ [
+          D.error ~rule:"kernel/divergence" ~subjects
+            (Printf.sprintf
+               "packed engine (%s) disagrees with %s [%s, %s tiebreak, dst \
+                %d, %s, claim %d]: %s"
+               (fst engine) (snd engine) (P.name policy) (tb_name tiebreak)
+               dst attacker_s attacker_claim detail);
+        ]
+  in
+  List.iter
+    (fun policy ->
+      Array.iter
+        (fun (dst, attacker) ->
+          List.iter
+            (fun tiebreak ->
+              let want =
+                R.compute ~tiebreak ~attacker_claim ~ws:rws g policy dep ~dst
+                  ~attacker
+              in
+              let check ~engine ?parents got =
+                incr items;
+                match mismatch ?parents ~want ~got () with
+                | None -> ()
+                | Some detail ->
+                    report ~policy ~tiebreak ~dst ~attacker ~engine detail
+              in
+              check
+                ~engine:("fresh buffers", "the reference kernel")
+                (E.compute ~tiebreak ~attacker_claim g policy dep ~dst
+                   ~attacker);
+              (* The reused-workspace outcome is invalidated by the next
+                 checkout from [ws], so it is compared eagerly. *)
+              check
+                ~engine:("reused workspace", "the reference kernel")
+                (E.compute ~tiebreak ~attacker_claim ~ws g policy dep ~dst
+                   ~attacker);
+              match (policy.P.lp, tiebreak) with
+              | P.Standard, E.Bounds when attacker_claim = 1 ->
+                  (* The Appendix-B transcription only covers the Standard
+                     LP model in Bounds mode with the paper's "m d" claim. *)
+                  check
+                    ~engine:("fresh buffers", "the staged specification")
+                    ~parents:false
+                    (S.compute g policy dep ~dst ~attacker)
+              | _ -> ())
+            [ E.Bounds; E.Lowest_next_hop ])
+        pairs)
+    policies;
+  (!items, !diags)

@@ -1,0 +1,27 @@
+(** Differential gate for the packed CSR routing kernel.
+
+    Replays (destination, attacker) pairs through three independent
+    implementations of route computation and demands bit-identical
+    outcomes:
+
+    - {!Routing.Engine.compute} — the packed CSR production kernel,
+      exercised both with fresh buffers and with a reused workspace;
+    - {!Routing.Reference.compute} — the pre-change kernel, preserved
+      verbatim;
+    - {!Routing.Staged.compute} — the Appendix-B executable
+      specification, where its contract applies (Standard LP model,
+      Bounds tiebreak, attacker claim 1; its representative next hop is
+      not compared).
+
+    Any field-level disagreement is a ["kernel/divergence"] error naming
+    the first AS and field that differ. *)
+
+val analyze :
+  ?attacker_claim:int ->
+  Topology.Graph.t ->
+  Routing.Policy.t list ->
+  Deployment.t ->
+  (int * int option) array ->
+  int * Diagnostic.t list
+(** [analyze g policies dep pairs] returns [(items, diagnostics)] where
+    [items] counts the engine runs that were compared. *)

@@ -168,13 +168,13 @@ let sec2_lpk_partition ?ws g policy ~k ~attacker ~dst n =
     Array.iter
       (fun u ->
         if u <> avoid then begin
-          let contribution = shift (clamped u) in
-          if contribution <> (0, false) then
+          let cmask, cover = shift (clamped u) in
+          if cmask <> 0 || cover then
             Array.iter
               (fun p ->
                 if p <> avoid && p <> root then begin
-                  cust_mask.(p) <- cust_mask.(p) lor fst contribution;
-                  cust_over.(p) <- cust_over.(p) || snd contribution
+                  cust_mask.(p) <- cust_mask.(p) lor cmask;
+                  cust_over.(p) <- cust_over.(p) || cover
                 end)
               (Topology.Graph.providers g u)
         end)

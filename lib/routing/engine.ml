@@ -1,42 +1,53 @@
 type tiebreak = Bounds | Lowest_next_hop
 
-(* Candidate bookkeeping for not-yet-fixed ASes.  Because the rank encodes
-   (class, length, security) completely, all candidates of equal rank at an
-   AS differ only in next hop and reachable endpoints; merging their
-   to_d/to_m flags is exactly the BPR set of Appendix B. *)
-type cand = {
-  rank : int array;
-  cls : int array; (* 0 customer / 1 peer / 2 provider *)
-  len : int array;
-  secure : Bytes.t;
-  to_d : Bytes.t;
-  to_m : Bytes.t;
-  parent : int array;
-}
+(* Packed candidate state.  A not-yet-fixed AS's best offer is one int
+   (plus a parent), laid out LSB-first as
 
-let cand_create n =
-  {
-    rank = Array.make n max_int;
-    cls = Array.make n (-1);
-    len = Array.make n (-1);
-    secure = Bytes.make n '\000';
-    to_d = Bytes.make n '\000';
-    to_m = Bytes.make n '\000';
-    parent = Array.make n (-1);
-  }
+     bit  0      to_m   — some equally-best route leads to the attacker
+     bit  1      to_d   — some equally-best route leads to the destination
+     bit  2      secure — the route is fully signed and validated
+     bits 3-4    cls    — 0 customer / 1 peer / 2 provider
+     bits 5-28   len    — perceived path length (max_len = n + 1 < 2^24)
+     bits 29-62  rank   — Policy.rank of (cls, len, secure)
+
+   Because the rank is injective on (cls, len, secure) and sits above
+   every other field, ordering two candidates by preference is a shift
+   and an int test, and a relax touches two hot cache lines (word +
+   parent, plus the epoch stamp) instead of the seven parallel arrays
+   the pre-change kernel walked — see {!Reference} for that layout.
+   The rank bound is O(max_len) for every model and LP variant
+   (Policy.max_rank), so 34 rank bits dwarf any graph that fits the 24
+   length bits. *)
+let to_m_flag = 1
+
+let to_d_flag = 2
+let secure_flag = 4
+let cls_shift = 3
+let len_shift = 5
+let len_bits = 24
+let len_mask = (1 lsl len_bits) - 1
+let rank_shift = len_shift + len_bits
+
+let pack ~rank ~cls_code ~len ~secure ~flags =
+  (rank lsl rank_shift)
+  lor (len lsl len_shift)
+  lor (cls_code lsl cls_shift)
+  lor (if secure then secure_flag else 0)
+  lor flags
 
 module Workspace = struct
   (* A candidate slot is live only when [stamp.(v) = epoch]; bumping the
      epoch invalidates every slot at once, so reuse costs O(1) instead of
-     re-filling ~7 size-n arrays per (attacker, destination) pair.  The
-     bucket queue and the outcome record are recycled in place (the queue
-     is empty after a completed drain, the outcome is reset by filling,
-     which is cheap relative to allocating + collecting it). *)
+     re-filling the candidate arrays per (attacker, destination) pair.
+     The bucket queue and the outcome record are recycled in place (the
+     queue is empty after a completed drain, the outcome is reset by
+     filling, which is cheap relative to allocating + collecting it). *)
   type t = {
     mutable cap : int;
     mutable epoch : int;
     mutable stamp : int array; (* slot live iff stamp.(v) = epoch *)
-    mutable cand : cand;
+    mutable word : int array; (* packed candidate, live slots only *)
+    mutable parent : int array;
     mutable queue : Prelude.Bucket_queue.t option;
     mutable outcome : Outcome.t option;
   }
@@ -47,7 +58,8 @@ module Workspace = struct
       cap;
       epoch = 0;
       stamp = Array.make cap (-1);
-      cand = cand_create cap;
+      word = Array.make cap 0;
+      parent = Array.make cap (-1);
       queue = None;
       outcome = None;
     }
@@ -59,7 +71,8 @@ module Workspace = struct
     if t.cap < n then begin
       t.cap <- n;
       t.stamp <- Array.make n (-1);
-      t.cand <- cand_create n
+      t.word <- Array.make n 0;
+      t.parent <- Array.make n (-1)
     end
 
   (* Check out the buffers for one computation of size [n] with the given
@@ -84,13 +97,8 @@ module Workspace = struct
       | None -> Outcome.create ~n ~dst ~attacker
     in
     t.outcome <- Some outcome;
-    (t.cand, t.stamp, t.epoch, queue, outcome)
+    (t.word, t.parent, t.stamp, t.epoch, queue, outcome)
 end
-
-let cls_of_code = function
-  | 0 -> Policy.Customer
-  | 1 -> Policy.Peer
-  | _ -> Policy.Provider
 
 let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
     ~attacker =
@@ -108,40 +116,49 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
       if m = dst then invalid_arg "Engine.compute: attacker = dst"
   | None -> ());
   let max_len = n + 1 in
-  let max_rank = Policy.max_rank policy ~max_len in
-  let cand, stamp, epoch, queue, outcome =
+  if max_len > len_mask then
+    invalid_arg "Engine.compute: graph too large for the packed kernel";
+  let tbl = Policy.Rank_table.make policy ~max_len in
+  let max_rank = tbl.Policy.Rank_table.max_rank in
+  let word, parent, stamp, epoch, queue, outcome =
     match ws with
     | Some ws -> Workspace.checkout ws ~n ~max_rank ~dst ~attacker
     | None ->
-        (* Fresh buffers: [cand_create]'s sentinel values are exactly the
-           "no live candidate" state, so a zero stamp with epoch 0 is
-           consistent. *)
-        ( cand_create n,
-          Array.make n 0,
+        (* Fresh buffers: a zero stamp with epoch 0 marks no slot live,
+           matching the workspace's "nothing checked out yet" state. *)
+        ( Array.make n 0,
+          Array.make n (-1),
+          Array.make n (-1),
           0,
           Prelude.Bucket_queue.create ~max_rank,
           Outcome.create ~n ~dst ~attacker )
   in
-  let bool_get b v = Bytes.unsafe_get b v <> '\000' in
-  let bool_set b v x = Bytes.unsafe_set b v (if x then '\001' else '\000') in
-  (* Rank of the best live candidate at [w], max_int when none. *)
-  let cand_rank w = if stamp.(w) = epoch then cand.rank.(w) else max_int in
-  (* Offer the route abstraction (cls, len, secure, flags) to AS [w] via
-     next hop [u]. *)
-  let relax w ~cls_code ~len ~secure ~to_d ~to_m ~parent =
-    if not (Outcome.is_fixed outcome w) && len <= max_len then begin
-      let cls = cls_of_code cls_code in
-      let r = Policy.rank policy ~max_len cls ~len ~secure in
-      let cur = cand_rank w in
+  (* Fixedness is a sign test on the outcome's raw length array; [fixed]
+     entries are never candidates again. *)
+  let lengths = Outcome.lengths outcome in
+  let csr = Topology.Graph.csr g in
+  let adj = csr.Topology.Graph.Csr.adj in
+  let xs = csr.Topology.Graph.Csr.xs in
+  let mul = tbl.Policy.Rank_table.mul in
+  let add = tbl.Policy.Rank_table.add in
+  let kk = tbl.Policy.Rank_table.kk in
+  (* Offer the route abstraction (cls, len, secure, endpoint flags) to AS
+     [w] via next hop [u].  [flags] carries to_d (bit 1) and to_m
+     (bit 0). *)
+  let relax w ~cls_code ~len ~secure ~flags ~parent:u =
+    if Array.unsafe_get lengths w < 0 && len <= max_len then begin
+      let sbit = if secure then 0 else 1 in
+      let j = (2 * cls_code) + sbit + if len <= kk then 0 else 6 in
+      let r = (Array.unsafe_get mul j * len) + Array.unsafe_get add j in
+      let cur =
+        if Array.unsafe_get stamp w = epoch then
+          Array.unsafe_get word w lsr rank_shift
+        else max_int
+      in
       if r < cur then begin
-        stamp.(w) <- epoch;
-        cand.rank.(w) <- r;
-        cand.cls.(w) <- cls_code;
-        cand.len.(w) <- len;
-        bool_set cand.secure w secure;
-        bool_set cand.to_d w to_d;
-        bool_set cand.to_m w to_m;
-        cand.parent.(w) <- parent;
+        Array.unsafe_set stamp w epoch;
+        Array.unsafe_set word w (pack ~rank:r ~cls_code ~len ~secure ~flags);
+        Array.unsafe_set parent w u;
         Prelude.Bucket_queue.push queue ~rank:r w
       end
       else if r = cur then begin
@@ -149,31 +166,50 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
         | Bounds ->
             (* Same rank implies same class/length/security; accumulate
                endpoints, keep the lowest-numbered representative hop. *)
-            bool_set cand.to_d w (bool_get cand.to_d w || to_d);
-            bool_set cand.to_m w (bool_get cand.to_m w || to_m);
-            if parent < cand.parent.(w) then cand.parent.(w) <- parent
+            Array.unsafe_set word w (Array.unsafe_get word w lor flags);
+            if u < Array.unsafe_get parent w then Array.unsafe_set parent w u
         | Lowest_next_hop ->
-            if parent < cand.parent.(w) then begin
-              cand.parent.(w) <- parent;
-              bool_set cand.to_d w to_d;
-              bool_set cand.to_m w to_m
+            if u < Array.unsafe_get parent w then begin
+              Array.unsafe_set parent w u;
+              Array.unsafe_set word w
+                ((Array.unsafe_get word w land lnot (to_d_flag lor to_m_flag))
+                lor flags)
             end
       end
     end
   in
-  (* Propagate a fixed AS's route to its neighbors, respecting Ex. *)
-  let expand u ~cls_code ~len ~secure ~to_d ~to_m ~exports_everywhere =
+  (* Propagate a fixed AS's route to its neighbors, respecting Ex: one
+     linear scan over the AS's CSR row, the offered class decided by the
+     segment boundary the index has crossed.  Customers of u always
+     learn u's route (a provider route at them); peers and providers
+     only when u's own route is a customer route (or u is a root). *)
+  let expand u ~cls_code ~len ~secure ~flags ~exports_everywhere =
     let signed = secure in
-    let offer w cls_code =
-      let secure_w = signed && Deployment.is_full dep w in
-      relax w ~cls_code ~len:(len + 1) ~secure:secure_w ~to_d ~to_m ~parent:u
-    in
-    (* Customers of u always learn u's route; u's route at them is a
-       provider route. *)
-    Array.iter (fun w -> offer w 2) (Topology.Graph.customers g u);
+    let len1 = len + 1 in
+    let base = 3 * u in
+    let c0 = Array.unsafe_get xs base in
+    let p0 = Array.unsafe_get xs (base + 1) in
+    let r0 = Array.unsafe_get xs (base + 2) in
+    let rend = Array.unsafe_get xs (base + 3) in
+    for i = c0 to p0 - 1 do
+      let w = Array.unsafe_get adj i in
+      relax w ~cls_code:2 ~len:len1
+        ~secure:(signed && Deployment.is_full dep w)
+        ~flags ~parent:u
+    done;
     if exports_everywhere || cls_code = 0 then begin
-      Array.iter (fun w -> offer w 1) (Topology.Graph.peers g u);
-      Array.iter (fun w -> offer w 0) (Topology.Graph.providers g u)
+      for i = p0 to r0 - 1 do
+        let w = Array.unsafe_get adj i in
+        relax w ~cls_code:1 ~len:len1
+          ~secure:(signed && Deployment.is_full dep w)
+          ~flags ~parent:u
+      done;
+      for i = r0 to rend - 1 do
+        let w = Array.unsafe_get adj i in
+        relax w ~cls_code:0 ~len:len1
+          ~secure:(signed && Deployment.is_full dep w)
+          ~flags ~parent:u
+      done
     end
   in
   (* Roots.  The destination's own announcement is signed when it deploys
@@ -187,29 +223,30 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
       Outcome.fix_root outcome m ~len:attacker_claim ~secure:false
         ~to_d:false ~to_m:true ~parent:dst
   | None -> ());
-  expand dst ~cls_code:(-1)
-    ~len:0
+  expand dst ~cls_code:(-1) ~len:0
     ~secure:(Deployment.signs_origin dep dst)
-    ~to_d:true ~to_m:false ~exports_everywhere:true;
+    ~flags:to_d_flag ~exports_everywhere:true;
   (match attacker with
   | Some m ->
-      expand m ~cls_code:(-1) ~len:attacker_claim ~secure:false ~to_d:false
-        ~to_m:true ~exports_everywhere:true
+      expand m ~cls_code:(-1) ~len:attacker_claim ~secure:false
+        ~flags:to_m_flag ~exports_everywhere:true
   | None -> ());
   let rec drain () =
     match Prelude.Bucket_queue.pop queue with
     | None -> ()
     | Some (rank, v) ->
-        if not (Outcome.is_fixed outcome v) then begin
-          assert (stamp.(v) = epoch && rank = cand.rank.(v));
-          let cls_code = cand.cls.(v) in
-          let len = cand.len.(v) in
-          let secure = bool_get cand.secure v in
-          let to_d = bool_get cand.to_d v in
-          let to_m = bool_get cand.to_m v in
-          Outcome.fix outcome v ~cls:(cls_of_code cls_code) ~len ~secure
-            ~to_d ~to_m ~parent:cand.parent.(v);
-          expand v ~cls_code ~len ~secure ~to_d ~to_m
+        if Array.unsafe_get lengths v < 0 then begin
+          let wv = word.(v) in
+          assert (stamp.(v) = epoch && rank = wv lsr rank_shift);
+          let cls_code = (wv lsr cls_shift) land 3 in
+          let len = (wv lsr len_shift) land len_mask in
+          let secure = wv land secure_flag <> 0 in
+          Outcome.fix_code outcome v ~cls_code ~len ~secure
+            ~to_d:(wv land to_d_flag <> 0)
+            ~to_m:(wv land to_m_flag <> 0)
+            ~parent:parent.(v);
+          expand v ~cls_code ~len ~secure
+            ~flags:(wv land (to_d_flag lor to_m_flag))
             ~exports_everywhere:false
         end;
         drain ()

@@ -92,3 +92,24 @@ val fix_root :
     (they have no neighbor route). *)
 
 val is_fixed : t -> int -> bool
+
+val fix_code :
+  t ->
+  int ->
+  cls_code:int ->
+  len:int ->
+  secure:bool ->
+  to_d:bool ->
+  to_m:bool ->
+  parent:int ->
+  unit
+(** {!fix} with the class already in code form (0 customer / 1 peer /
+    2 provider) — the packed engine stores codes, not variants, so this
+    skips a decode/re-encode round trip per fixed AS.  The code is not
+    validated. *)
+
+val lengths : t -> int array
+(** The raw per-AS length array backing {!length} ([-1] = unreached);
+    may be longer than {!n} after a {!reset}.  Exposed for the engine's
+    inner loop, which tests fixedness with [unsafe_get] — owned by the
+    outcome, never mutate or retain it elsewhere. *)

@@ -131,3 +131,62 @@ let max_rank t ~max_len =
       | Security_first -> 2 * z
       | Security_third -> 2 * z
       | Security_second -> (4 * kk) + (6 * lbase))
+
+type policy = t
+
+module Rank_table = struct
+  (* Hoisted form of [rank] for the engine's inner loop.  For a fixed
+     (policy, max_len), [rank] is piecewise affine in the length with a
+     single breakpoint at [kk] (the Lp_k refinement limit; [max_len]
+     itself under the Standard LP, i.e. no second piece): each of the six
+     (class, security) combinations contributes one affine map per piece.
+     We derive the 12 (multiplier, offset) entries by probing [rank] at
+     the two ends of each piece, so the table is bit-identical to [rank]
+     by construction — no second copy of the encoding formulas to drift.
+     The hot-path lookup is then two array reads, one multiply and one
+     add, with no variant dispatch or bounds checks. *)
+  type t = {
+    kk : int;  (* breakpoint: the "lo" piece covers len <= kk *)
+    mul : int array;  (* 12 entries: j = 2*cls + sbit, + 6 when len > kk *)
+    add : int array;
+    max_len : int;
+    max_rank : int;
+  }
+
+  let cls_of_code = function 0 -> Customer | 1 -> Peer | _ -> Provider
+
+  let make policy ~max_len =
+    if max_len < 1 then invalid_arg "Policy.Rank_table.make: max_len < 1";
+    let kk =
+      match policy.lp with Standard -> max_len | Lp_k k -> min k max_len
+    in
+    let mul = Array.make 12 0 and add = Array.make 12 0 in
+    (* Fit mul.(j) * len + add.(j) to the piece [lo, hi] (inclusive, with
+       1 <= lo <= hi <= max_len); a single-point piece gets slope 0. *)
+    let fit cls_code sbit j lo hi =
+      let r len =
+        rank policy ~max_len (cls_of_code cls_code) ~len ~secure:(sbit = 0)
+      in
+      let m = if hi > lo then r (lo + 1) - r lo else 0 in
+      mul.(j) <- m;
+      add.(j) <- r lo - (m * lo)
+    in
+    for cls = 0 to 2 do
+      for sbit = 0 to 1 do
+        let j = (2 * cls) + sbit in
+        fit cls sbit j 1 kk;
+        if kk < max_len then fit cls sbit (j + 6) (kk + 1) max_len
+        else begin
+          (* One piece only: mirror it so the len <= kk test never picks
+             an unfitted entry. *)
+          mul.(j + 6) <- mul.(j);
+          add.(j + 6) <- add.(j)
+        end
+      done
+    done;
+    { kk; mul; add; max_len; max_rank = max_rank policy ~max_len }
+
+  let rank t ~cls_code ~len ~sbit =
+    let j = (2 * cls_code) + sbit + if len <= t.kk then 0 else 6 in
+    (Array.unsafe_get t.mul j * len) + Array.unsafe_get t.add j
+end

@@ -52,3 +52,41 @@ val rank : t -> max_len:int -> route_class -> len:int -> secure:bool -> int
 
 val max_rank : t -> max_len:int -> int
 (** Exclusive upper bound on [rank] values. *)
+
+type policy = t
+(** Alias so {!Rank_table} can name the enclosing policy type. *)
+
+module Rank_table : sig
+  (** {!rank}, hoisted out of the inner loop.
+
+      For a fixed (policy, [max_len]) the rank encoding is piecewise
+      affine in the length, with a single breakpoint at the Lp_k
+      refinement limit: every (class, security) combination is one
+      [mul * len + add] map per piece.  {!make} derives the 12 entries by
+      probing {!rank} itself, so table lookups are bit-identical to
+      {!rank} by construction (also property-tested); the engine's hot
+      path then needs two array reads, a multiply and an add per offered
+      route — no variant dispatch, no bounds checks, no [invalid_arg]
+      guard.
+
+      Callers index with [j = 2 * cls_code + sbit (+ 6 when len > kk)]
+      where [cls_code] is 0 customer / 1 peer / 2 provider and [sbit] is
+      0 secure / 1 insecure; the fields are exposed read-only so the
+      kernel can inline the lookup. *)
+
+  type t = private {
+    kk : int;  (** breakpoint: entries [0..5] cover [len <= kk] *)
+    mul : int array;  (** 12 length multipliers *)
+    add : int array;  (** 12 offsets *)
+    max_len : int;  (** lengths valid in [1 .. max_len] *)
+    max_rank : int;  (** = [max_rank policy ~max_len] *)
+  }
+
+  val make : policy -> max_len:int -> t
+  (** Raises [Invalid_argument] when [max_len < 1]. *)
+
+  val rank : t -> cls_code:int -> len:int -> sbit:int -> int
+  (** Table lookup; equals
+      [rank policy ~max_len cls ~len ~secure] for in-range lengths.
+      No validation: out-of-range [len]/[cls_code]/[sbit] is undefined. *)
+end

@@ -14,6 +14,19 @@ let compute g ~root ?(avoid = -1) ?only () =
   let provider_set = Prelude.Bitset.create n in
   let allowed = match only with None -> fun _ -> true | Some f -> f in
   let ok v = v <> avoid && v <> root && allowed v in
+  (* The three relationship classes are segments of each CSR row; the
+     closures below walk one segment without materializing neighbor
+     arrays. *)
+  let csr = Topology.Graph.csr g in
+  let adj = csr.Topology.Graph.Csr.adj in
+  let xs = csr.Topology.Graph.Csr.xs in
+  let iter_seg f lo hi =
+    for i = lo to hi - 1 do
+      f (Array.unsafe_get adj i)
+    done
+  in
+  let iter_customers f v = iter_seg f xs.(3 * v) xs.((3 * v) + 1) in
+  let iter_providers f v = iter_seg f xs.((3 * v) + 2) xs.((3 * v) + 3) in
   (* Customer routes: climb customer-to-provider edges from the root. *)
   let queue = Queue.create () in
   let push_customer v =
@@ -22,17 +35,22 @@ let compute g ~root ?(avoid = -1) ?only () =
       Queue.add v queue
     end
   in
-  Array.iter push_customer (Topology.Graph.providers g root);
+  iter_providers push_customer root;
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
-    Array.iter push_customer (Topology.Graph.providers g u)
+    iter_providers push_customer u
   done;
   (* Peer routes: one peer hop off a customer route (or off the root). *)
   let has_customer_or_root u = u = root || Prelude.Bitset.mem customer_set u in
   for v = 0 to n - 1 do
-    if ok v
-       && Array.exists has_customer_or_root (Topology.Graph.peers g v)
-    then Prelude.Bitset.add peer_set v
+    if ok v then begin
+      let hi = xs.((3 * v) + 2) in
+      let rec scan i =
+        i < hi
+        && (has_customer_or_root (Array.unsafe_get adj i) || scan (i + 1))
+      in
+      if scan xs.((3 * v) + 1) then Prelude.Bitset.add peer_set v
+    end
   done;
   (* Provider routes: close downward from anything reachable. *)
   let push_provider v =
@@ -41,9 +59,7 @@ let compute g ~root ?(avoid = -1) ?only () =
       Queue.add v queue
     end
   in
-  let seed u =
-    Array.iter push_provider (Topology.Graph.customers g u)
-  in
+  let seed u = iter_customers push_provider u in
   seed root;
   Prelude.Bitset.iter seed customer_set;
   Prelude.Bitset.iter seed peer_set;

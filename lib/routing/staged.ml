@@ -122,7 +122,11 @@ let compute g policy dep ~dst ~attacker =
           | [] -> ()
           | (c :: _ as set) -> (
               match !best with
-              | Some (blen, bv, _) when (c.len, v) >= (blen, bv) -> ()
+              (* Lexicographic (len, id) as explicit int tests: the tuple
+                 form would allocate both tuples and dispatch through the
+                 polymorphic runtime on every scan step. *)
+              | Some (blen, bv, _) when c.len > blen || (c.len = blen && v >= bv)
+                -> ()
               | _ -> best := Some (c.len, v, set))
         end
       done;

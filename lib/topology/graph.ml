@@ -1,3 +1,42 @@
+module Csr = struct
+  (* Flat compressed-sparse-row view of the adjacency: every neighbor of
+     every AS lives in one contiguous [adj] array, one row per AS, with
+     the row split into three segments — customers, then peers, then
+     providers.  [xs] holds the 3n+1 segment boundaries:
+
+       customers of v : adj[xs.(3v)   .. xs.(3v+1))
+       peers of v     : adj[xs.(3v+1) .. xs.(3v+2))
+       providers of v : adj[xs.(3v+2) .. xs.(3v+3))
+
+     The row of v+1 starts where the row of v ends, so a full-row scan is
+     a single linear pass and the relationship class of a neighbor is
+     decided by which boundary its index has crossed — no per-class
+     closure dispatch in the routing kernel's inner loop. *)
+  type t = { adj : int array; xs : int array }
+
+  let of_tables ~customers ~peers ~providers =
+    let n = Array.length customers in
+    let xs = Array.make ((3 * n) + 1) 0 in
+    let total = ref 0 in
+    for v = 0 to n - 1 do
+      xs.((3 * v)) <- !total;
+      total := !total + Array.length customers.(v);
+      xs.((3 * v) + 1) <- !total;
+      total := !total + Array.length peers.(v);
+      xs.((3 * v) + 2) <- !total;
+      total := !total + Array.length providers.(v)
+    done;
+    xs.(3 * n) <- !total;
+    let adj = Array.make (max 1 !total) 0 in
+    for v = 0 to n - 1 do
+      let blit src pos = Array.blit src 0 adj pos (Array.length src) in
+      blit customers.(v) xs.((3 * v));
+      blit peers.(v) xs.((3 * v) + 1);
+      blit providers.(v) xs.((3 * v) + 2)
+    done;
+    { adj; xs }
+end
+
 type t = {
   n : int;
   customers : int array array;
@@ -5,6 +44,11 @@ type t = {
   peers : int array array;
   num_c2p : int;
   num_p2p : int;
+  (* Lazily built on first use and cached; see [csr].  Two domains racing
+     on a cold cache both build identical arrays and one write wins —
+     wasted work, never a wrong answer (the field holds an immutable
+     value and pointer writes are atomic). *)
+  mutable csr : Csr.t option;
 }
 
 type edge =
@@ -20,15 +64,24 @@ let of_edges ~n edge_list =
     if v < 0 || v >= n then
       invalid_arg (Printf.sprintf "Graph.of_edges: AS %d out of range" v)
   in
-  let tbl : (int * int, rel) Hashtbl.t = Hashtbl.create (List.length edge_list) in
+  (* Keyed on the single int [a * n + b] (with a < b) rather than a boxed
+     (int * int) tuple: one immediate-int hash and compare per edge
+     instead of a tuple allocation plus a structural walk.  [a * n + b]
+     is injective on in-range pairs and fits an OCaml int for any
+     realistic AS count. *)
+  let tbl : (int, rel) Hashtbl.t = Hashtbl.create (List.length edge_list) in
   let insert a b rel =
     check a;
     check b;
     if a = b then invalid_arg "Graph.of_edges: self loop";
-    let key, rel = if a < b then ((a, b), rel) else ((b, a), match rel with
-      | A_customer_of_b -> B_customer_of_a
-      | B_customer_of_a -> A_customer_of_b
-      | Peers -> Peers)
+    let key, rel =
+      if a < b then ((a * n) + b, rel)
+      else
+        ( (b * n) + a,
+          match rel with
+          | A_customer_of_b -> B_customer_of_a
+          | B_customer_of_a -> A_customer_of_b
+          | Peers -> Peers )
     in
     match Hashtbl.find_opt tbl key with
     | None -> Hashtbl.add tbl key rel
@@ -37,7 +90,7 @@ let of_edges ~n edge_list =
           invalid_arg
             (Printf.sprintf
                "Graph.of_edges: conflicting relationships for pair (%d, %d)"
-               (fst key) (snd key))
+               (key / n) (key mod n))
   in
   List.iter
     (function
@@ -46,7 +99,8 @@ let of_edges ~n edge_list =
     edge_list;
   let cust_deg = Array.make n 0 and prov_deg = Array.make n 0 and peer_deg = Array.make n 0 in
   Hashtbl.iter
-    (fun (a, b) rel ->
+    (fun key rel ->
+      let a = key / n and b = key mod n in
       match rel with
       | A_customer_of_b ->
           prov_deg.(a) <- prov_deg.(a) + 1;
@@ -76,7 +130,8 @@ let of_edges ~n edge_list =
   in
   let num_c2p = ref 0 and num_p2p = ref 0 in
   Hashtbl.iter
-    (fun (a, b) rel ->
+    (fun key rel ->
+      let a = key / n and b = key mod n in
       match rel with
       | A_customer_of_b ->
           incr num_c2p;
@@ -96,14 +151,27 @@ let of_edges ~n edge_list =
   sort_all customers;
   sort_all providers;
   sort_all peers;
-  { n; customers; providers; peers; num_c2p = !num_c2p; num_p2p = !num_p2p }
+  { n; customers; providers; peers; num_c2p = !num_c2p; num_p2p = !num_p2p;
+    csr = None }
 
 let unsafe_of_adjacency ~customers ~providers ~peers =
   let n = Array.length customers in
   if Array.length providers <> n || Array.length peers <> n then
     invalid_arg "Graph.unsafe_of_adjacency: table length mismatch";
   let sum arrs = Array.fold_left (fun acc a -> acc + Array.length a) 0 arrs in
-  { n; customers; providers; peers; num_c2p = sum customers; num_p2p = sum peers / 2 }
+  { n; customers; providers; peers; num_c2p = sum customers;
+    num_p2p = sum peers / 2; csr = None }
+
+let csr g =
+  match g.csr with
+  | Some c -> c
+  | None ->
+      let c =
+        Csr.of_tables ~customers:g.customers ~peers:g.peers
+          ~providers:g.providers
+      in
+      g.csr <- Some c;
+      c
 
 let n g = g.n
 let customers g v = g.customers.(v)

@@ -8,6 +8,28 @@
 
 type t
 
+module Csr : sig
+  (** Flat compressed-sparse-row view of the adjacency, for kernels that
+      scan whole neighborhoods: every neighbor of every AS in one
+      contiguous [adj] array, one row per AS, segmented as
+      customers | peers | providers.  [xs] holds the [3n + 1] segment
+      boundaries:
+
+      - customers of [v]: [adj.(xs.(3v)) .. adj.(xs.(3v+1) - 1)]
+      - peers of [v]:     [adj.(xs.(3v+1)) .. adj.(xs.(3v+2) - 1)]
+      - providers of [v]: [adj.(xs.(3v+2)) .. adj.(xs.(3v+3) - 1)]
+
+      Row [v+1] starts where row [v] ends.  Each segment is sorted
+      ascending (same order as {!customers} etc.).  The arrays are owned
+      by the graph and must not be mutated. *)
+  type t = private { adj : int array; xs : int array }
+end
+
+val csr : t -> Csr.t
+(** The graph's CSR view, built on first use and cached on the graph.
+    Concurrent first calls from several domains may build it redundantly
+    (identical results; last write wins) — never inconsistently. *)
+
 type edge =
   | Customer_provider of int * int  (** [(c, p)]: [c] is a customer of [p] *)
   | Peer_peer of int * int

@@ -1,0 +1,200 @@
+(* Flat CSR kernel: bit-identity of the packed-state engine against the
+   fresh-buffer path, the pre-change reference engine and the literal
+   Appendix-B staged algorithm, plus the hoisted rank table against
+   Policy.rank. *)
+
+open Core
+open Test_helpers
+
+let sec1 = Policy.make Policy.Security_first
+let sec2 = Policy.make Policy.Security_second
+let sec3 = Policy.make Policy.Security_third
+let standard_models = [ sec1; sec2; sec3 ]
+
+(* The rank table must reproduce Policy.rank bit-for-bit on every
+   (class, length, security) cell, for random policies and length
+   bounds — the affine-piece derivation is only correct if the encoding
+   really is piecewise affine with the single breakpoint the table
+   assumes. *)
+let test_rank_table_exhaustive =
+  qtest "Rank_table.rank = Policy.rank (exhaustive per policy)" ~count:300
+    (fun seed ->
+      let rng = Rng.create seed in
+      let policy = random_policy rng in
+      let max_len = 1 + Rng.int rng 60 in
+      let tbl = Policy.Rank_table.make policy ~max_len in
+      let ok = ref (tbl.Policy.Rank_table.max_rank = Policy.max_rank policy ~max_len) in
+      List.iter
+        (fun (cls, cls_code) ->
+          for len = 1 to max_len do
+            List.iter
+              (fun secure ->
+                let want = Policy.rank policy ~max_len cls ~len ~secure in
+                let got =
+                  Policy.Rank_table.rank tbl ~cls_code ~len
+                    ~sbit:(if secure then 0 else 1)
+                in
+                if want <> got then begin
+                  Printf.eprintf
+                    "rank table mismatch: %s max_len=%d cls=%d len=%d \
+                     secure=%b: %d vs %d\n\
+                     %!"
+                    (Policy.name policy) max_len cls_code len secure want got;
+                  ok := false
+                end)
+              [ true; false ]
+          done)
+        [ (Policy.Customer, 0); (Policy.Peer, 1); (Policy.Provider, 2) ];
+      !ok)
+
+(* A random (graph, deployment, pair, policy, tiebreak) instance; the
+   attacker is None one time in four. *)
+let random_instance rng ~max_n =
+  let g = random_graph rng ~max_n in
+  let n = Graph.n g in
+  let dep = random_deployment rng n in
+  let dst = Rng.int rng n in
+  let attacker =
+    if Rng.int rng 4 = 0 then None
+    else
+      let m = Rng.int rng n in
+      if m = dst then None else Some m
+  in
+  let tiebreak =
+    if Rng.bool rng then Engine.Bounds else Engine.Lowest_next_hop
+  in
+  let claim = Rng.int rng 3 in
+  (g, dep, dst, attacker, tiebreak, claim)
+
+(* The packed CSR engine, the fresh-buffer path of the same engine, and
+   the pre-change reference engine agree bit-for-bit on random instances
+   under every policy (including Lp_k), both tiebreaks and random
+   attacker claims. *)
+let test_engine_vs_reference =
+  qtest "packed engine = reference engine (random instances)" ~count:400
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g, dep, dst, attacker, tiebreak, claim =
+        random_instance rng ~max_n:30
+      in
+      let policy = random_policy rng in
+      let ws = Engine.Workspace.create (Graph.n g) in
+      let fresh =
+        Engine.compute ~tiebreak ~attacker_claim:claim g policy dep ~dst
+          ~attacker
+      in
+      let packed =
+        Engine.compute ~tiebreak ~attacker_claim:claim ~ws g policy dep ~dst
+          ~attacker
+      in
+      let reference =
+        Reference.compute ~tiebreak ~attacker_claim:claim g policy dep ~dst
+          ~attacker
+      in
+      check_none "ws vs fresh" (outcome_mismatch fresh packed)
+      && check_none "engine vs reference" (outcome_mismatch fresh reference))
+
+(* Against the executable Appendix-B specification: standard LP, all
+   three models, Bounds tiebreak (Staged always merges the BPR set). *)
+let test_engine_vs_staged =
+  qtest "packed engine = staged specification" ~count:300 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:24 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let dst = Rng.int rng n in
+      let attacker =
+        if Rng.int rng 4 = 0 then None
+        else
+          let m = Rng.int rng n in
+          if m = dst then None else Some m
+      in
+      List.for_all
+        (fun policy ->
+          let a = Engine.compute g policy dep ~dst ~attacker in
+          let b = Staged.compute g policy dep ~dst ~attacker in
+          check_none (Policy.name policy) (outcome_mismatch a b))
+        standard_models)
+
+(* One workspace reused across a growing sequence of graph sizes: the
+   grow-in-place path must never leak state from a smaller (or larger)
+   previous computation. *)
+let test_workspace_across_sizes =
+  qtest "workspace reuse across growing graph sizes" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let ws = Engine.Workspace.create 0 in
+      let sizes = [ 5; 9; 17; 33; 12; 40 ] in
+      List.for_all
+        (fun max_n ->
+          let g = random_graph rng ~max_n in
+          let n = Graph.n g in
+          let dep = random_deployment rng n in
+          let dst = Rng.int rng n in
+          let m = Rng.int rng n in
+          let attacker = if m = dst then None else Some m in
+          let policy = random_policy rng in
+          List.for_all
+            (fun tiebreak ->
+              let reused =
+                Engine.compute ~tiebreak ~ws g policy dep ~dst ~attacker
+              in
+              let fresh = Engine.compute ~tiebreak g policy dep ~dst ~attacker in
+              check_none "reuse across sizes" (outcome_mismatch fresh reused))
+            [ Engine.Bounds; Engine.Lowest_next_hop ])
+        sizes)
+
+(* attacker:None — normal-conditions outcomes agree across all three
+   paths too (the reference engine and the staged specification). *)
+let test_no_attacker =
+  qtest "normal conditions: engine = reference = staged" ~count:200
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:24 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let dst = Rng.int rng n in
+      let ws = Engine.Workspace.create n in
+      List.for_all
+        (fun policy ->
+          let a = Engine.compute ~ws g policy dep ~dst ~attacker:None in
+          let r = Reference.compute g policy dep ~dst ~attacker:None in
+          let s = Staged.compute g policy dep ~dst ~attacker:None in
+          check_none "engine vs reference" (outcome_mismatch a r)
+          && check_none "engine vs staged" (outcome_mismatch a s))
+        standard_models)
+
+(* The CSR view itself: segments match the per-class adjacency arrays on
+   random graphs. *)
+let test_csr_segments =
+  qtest "CSR segments = adjacency arrays" ~count:200 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:40 in
+      let n = Graph.n g in
+      let csr = Graph.csr g in
+      let adj = csr.Graph.Csr.adj and xs = csr.Graph.Csr.xs in
+      let ok = ref true in
+      let segment lo hi = Array.sub adj lo (hi - lo) in
+      for v = 0 to n - 1 do
+        let b = 3 * v in
+        if segment xs.(b) xs.(b + 1) <> Graph.customers g v then ok := false;
+        if segment xs.(b + 1) xs.(b + 2) <> Graph.peers g v then ok := false;
+        if segment xs.(b + 2) xs.(b + 3) <> Graph.providers g v then
+          ok := false
+      done;
+      !ok && xs.(0) = 0)
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "rank table",
+        [ test_rank_table_exhaustive ] );
+      ( "bit identity",
+        [
+          test_engine_vs_reference;
+          test_engine_vs_staged;
+          test_workspace_across_sizes;
+          test_no_attacker;
+        ] );
+      ( "csr",
+        [ test_csr_segments ] );
+    ]

@@ -32,4 +32,10 @@ echo "== rollout bench (smoke)"
 SBGP_BENCH_ONLY=rollout SBGP_BENCH_N=300 SBGP_SCALE=0.2 \
   SBGP_BENCH_LABEL=ci dune exec bench/main.exe -- --json
 
+echo "== kernel bench (smoke)"
+# Toy-scale run of the packed-vs-reference kernel benchmark: the
+# Check.Kernel bit-identity gate inside it is the point, not the timing.
+SBGP_BENCH_ONLY=kernel SBGP_BENCH_N=250 SBGP_BENCH_KERNEL_PAIRS=10 \
+  SBGP_BENCH_KERNEL_REPS=1 dune exec bench/main.exe
+
 echo "ci: all green"

@@ -10,7 +10,11 @@
 #      compare boxes its arguments, defeats branch prediction, and
 #      silently does the wrong thing on records with irrelevant fields.
 #      Use Int.compare / String.compare / Policy.compare_routes or a
-#      hand-written comparator.
+#      hand-written comparator.  This includes the operator form: a bare
+#      structural `=`/`<`/`>=`/... applied to a tuple literal (e.g.
+#      `(a, b) >= (c, d)`) allocates both tuples and dispatches through
+#      the polymorphic runtime on every evaluation; spell out the
+#      lexicographic int tests instead.
 #   2. No `Obj.magic` and no `Printexc.print_backtrace` outside test/.
 #      The first is never justified in this codebase; the second is a
 #      debugging escape that belongs in a test harness, not in library
@@ -38,6 +42,21 @@ if [ -n "$hot_files" ]; then
   if [ -n "$hits" ]; then
     echo "lint: polymorphic comparison in hot-path code (use a monomorphic comparator):"
     echo "$hits"
+    status=1
+  fi
+
+  # Structural comparison of tuple literals.  A relational operator next
+  # to a parenthesized comma group is a comparison (bindings and match
+  # arms use bare `=` / `->`, which this does not match); bare `=` is
+  # only flagged with a tuple literal on BOTH sides, so `let f x = (a, b)`
+  # stays legal.  The `[^-=<>]>` alternative keeps `->` out of the net.
+  tup='\([^()]*,[^()]*\)'
+  tup_hits=$(grep -nE \
+    "$tup *(>=|<=|<>|<|>)|(>=|<=|<>|<|[^-=<>]>) *$tup|$tup *= *$tup" \
+    $hot_files | grep -vE '^\S+:[0-9]+: *\(?\*|\(\*' || true)
+  if [ -n "$tup_hits" ]; then
+    echo "lint: structural comparison of tuple literals in hot-path code (spell out the int tests):"
+    echo "$tup_hits"
     status=1
   fi
 fi
