@@ -252,12 +252,49 @@ let check_cmd =
              rollout chain must be bit-identical to from-scratch \
              computation at every step (uses the context's worker pool).")
   in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Run only the typed-AST static analysis (rules ast/*): scan \
+             the .cmt artifacts of lib/ and bin/ for polymorphic/float \
+             comparison in hot paths, determinism taint, unsafe array \
+             access and exception swallowing, honoring \
+             tools/astlint/allowlist.txt.  Requires a prior dune build \
+             (set SBGP_CMT_ROOT to point at the build root explicitly).")
+  in
+  let run_static () =
+    match Core.Analysis.Cmt_loader.locate_build_root () with
+    | None ->
+        prerr_endline
+          "check --static: no build root with .cmt artifacts found; run \
+           `dune build @check` first (or set SBGP_CMT_ROOT)";
+        exit 2
+    | Some root ->
+        let allowlist_file =
+          List.find_opt Sys.file_exists
+            [
+              Filename.concat root "tools/astlint/allowlist.txt";
+              "tools/astlint/allowlist.txt";
+            ]
+        in
+        let outcome =
+          Core.Analysis.analyze ?allowlist_file ~root
+            ~dirs:Core.Analysis.default_dirs ()
+        in
+        print_string
+          (Core.Check.Diagnostic.summary outcome.Core.Analysis.report);
+        if not (Core.Check.Diagnostic.ok outcome.Core.Analysis.report) then
+          exit 1
+  in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules inc_pairs incremental =
+      rules inc_pairs incremental static =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
         Core.Check.Diagnostic.catalogue
+    else if static then run_static ()
     else begin
       let ctx = context n seed ixp scale domains graph_file in
       Printf.printf "context: %s\n%!" (Core.Experiments.Context.describe ctx);
@@ -311,7 +348,7 @@ let check_cmd =
     Term.(
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
-      $ rules_arg $ inc_pairs_arg $ incremental_arg)
+      $ rules_arg $ inc_pairs_arg $ incremental_arg $ static_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

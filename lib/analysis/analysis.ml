@@ -1,0 +1,157 @@
+(* Typed-AST static analysis over dune's .cmt artifacts.
+
+   The pipeline (DESIGN.md §11): locate the build root, scan for .cmt
+   binary annotations, walk each Typedtree once collecting facts
+   (Unit_info), derive the type-immediacy registry (Typereg) and the
+   inter-module call graph (Callgraph), then let the rule catalogue
+   (Rules) turn facts into Check.Diagnostic findings.  Nothing is
+   recompiled here: the analyzer reads what `dune build @check` left
+   behind, which is also how the @lint alias sequences it. *)
+
+module Syms = Syms
+module Cmt_loader = Cmt_loader
+module Unit_info = Unit_info
+module Typereg = Typereg
+module Allowlist = Allowlist
+module Callgraph = Callgraph
+module Rules = Rules
+module D = Check.Diagnostic
+
+type outcome = { units : Unit_info.t list; report : D.report }
+
+let default_dirs = [ "lib"; "bin" ]
+
+let load_units files =
+  let units, diags =
+    List.fold_left
+      (fun (units, diags) file ->
+        match Cmt_loader.read file with
+        | Error msg ->
+            ( units,
+              D.error ~rule:Rules.rule_unreadable
+                (Printf.sprintf "%s: %s" file msg)
+              :: diags )
+        | Ok (uf, infos) -> (
+            match infos.Cmt_format.cmt_annots with
+            | Cmt_format.Implementation str ->
+                let modname = Syms.canon_string uf.modname in
+                ( Unit_info.walk ~modname ~source:uf.source str :: units,
+                  diags )
+            | _ -> (units, diags)))
+      ([], []) files
+  in
+  (List.rev units, List.rev diags)
+
+let analyze ?(config = fun allow -> Rules.default ~allow ())
+    ?allowlist_file ~root ~dirs () =
+  let files = Cmt_loader.scan ~root ~dirs in
+  let allow, allow_diags =
+    match allowlist_file with
+    | None -> (Allowlist.empty, [])
+    | Some f -> (
+        match Allowlist.load f with
+        | Ok a -> (a, [])
+        | Error msg ->
+            ( Allowlist.empty,
+              [
+                D.error ~rule:Rules.rule_allowlist
+                  (Printf.sprintf "%s: %s" f msg);
+              ] ))
+  in
+  let missing_diags =
+    if files = [] then
+      [
+        D.error ~rule:Rules.rule_missing
+          (Printf.sprintf
+             "no .cmt artifacts under %s for {%s}; run `dune build @check` \
+              first"
+             root (String.concat ", " dirs));
+      ]
+    else []
+  in
+  let units, read_diags = load_units files in
+  let cfg = config allow in
+  let reg = Typereg.build units in
+  let graph = Callgraph.build units in
+  let rule_diags = Rules.apply cfg reg graph units in
+  let report =
+    let r =
+      D.add_pass D.empty_report "ast/load" ~items:(List.length files)
+        (allow_diags @ missing_diags @ read_diags)
+    in
+    D.add_pass r "ast/rules" ~items:(List.length units) rule_diags
+  in
+  { units; report }
+
+(* --- fixture corpus ------------------------------------------------- *)
+
+(* The deliberately-bad corpus under test/fixtures/astlint doubles as a
+   false-negative guard: every aN_*.ml file must produce at least one
+   finding of its rule, every ok_*.ml must stay silent.  If a rule
+   regresses, its fixture stops firing and @lint fails — the
+   mutant-style inversion of the usual "clean tree has zero findings"
+   gate. *)
+
+let fixture_dir = "test/fixtures/astlint"
+
+let fixture_config allow =
+  {
+    Rules.hot_scopes = [ fixture_dir ];
+    swallow_scopes = [ fixture_dir ];
+    unsafe_scopes = [ fixture_dir ];
+    kernel_modules = [ "Astlint_fixtures.A3_unsafe.Vetted_kernel" ];
+    taint_roots = [ "Astlint_fixtures.A2_taint.root_compute" ];
+    rng_scopes = [];
+    allow;
+  }
+
+let expected_rule_of_fixture base =
+  let pre n = String.length base >= 3 && String.sub base 0 3 = n in
+  if pre "a1_" then Some (Some Rules.rule_poly)
+  else if pre "a2_" then Some (Some Rules.rule_taint)
+  else if pre "a3_" then Some (Some Rules.rule_unsafe)
+  else if pre "a4_" then Some (Some Rules.rule_float)
+  else if pre "a5_" then Some (Some Rules.rule_swallow)
+  else if pre "ok_" then Some None
+  else None
+
+let fixture_failures outcome =
+  let diags_for source =
+    List.filter
+      (fun (d : D.t) ->
+        let prefix = source ^ ":" in
+        String.length d.message >= String.length prefix
+        && String.sub d.message 0 (String.length prefix) = prefix)
+      outcome.report.D.diags
+  in
+  List.filter_map
+    (fun (u : Unit_info.t) ->
+      if not (Syms.in_scope ~scopes:[ fixture_dir ] u.source) then None
+      else
+        let base = Filename.basename u.source in
+        match expected_rule_of_fixture base with
+        | None -> None
+        | Some (Some rule) ->
+            let hits = diags_for u.source in
+            if List.exists (fun (d : D.t) -> d.rule = rule) hits then None
+            else
+              Some
+                (Printf.sprintf
+                   "false negative: fixture %s expected a %s finding, got \
+                    %s"
+                   base rule
+                   (match hits with
+                   | [] -> "none"
+                   | l ->
+                       String.concat "; "
+                         (List.map (fun (d : D.t) -> d.rule) l)))
+        | Some None ->
+            let hits = diags_for u.source in
+            if hits = [] then None
+            else
+              Some
+                (Printf.sprintf
+                   "false positive: clean fixture %s produced %s" base
+                   (String.concat "; "
+                      (List.map (fun (d : D.t) -> d.rule) hits))))
+    outcome.units

@@ -1,0 +1,49 @@
+(** Typed-AST static analysis over dune's [.cmt] artifacts.
+
+    Loads the binary annotations a prior [dune build @check] produced,
+    walks each Typedtree once, builds a type-immediacy registry and an
+    inter-module call graph, and applies the A1–A5 rule catalogue
+    (DESIGN.md §11).  Findings are ordinary {!Check.Diagnostic} values
+    with stable [ast/*] rule ids. *)
+
+module Syms = Syms
+module Cmt_loader = Cmt_loader
+module Unit_info = Unit_info
+module Typereg = Typereg
+module Allowlist = Allowlist
+module Callgraph = Callgraph
+module Rules = Rules
+
+type outcome = {
+  units : Unit_info.t list;
+  report : Check.Diagnostic.report;
+}
+
+val default_dirs : string list
+(** [["lib"; "bin"]] — the production scan. *)
+
+val analyze :
+  ?config:(Allowlist.t -> Rules.config) ->
+  ?allowlist_file:string ->
+  root:string ->
+  dirs:string list ->
+  unit ->
+  outcome
+(** Scan [root]/[dirs] for [.cmt] files, walk them and apply the rules.
+    Unreadable artifacts, an empty scan and allowlist parse errors all
+    surface as diagnostics ([ast/cmt-unreadable], [ast/cmt-missing],
+    [ast/allowlist]) rather than exceptions. *)
+
+(** {1 Fixture corpus (false-negative guard)} *)
+
+val fixture_dir : string
+(** ["test/fixtures/astlint"] *)
+
+val fixture_config : Allowlist.t -> Rules.config
+(** Scopes, kernel allowlist and taint roots aimed at the deliberately
+    bad fixture corpus instead of the production tree. *)
+
+val fixture_failures : outcome -> string list
+(** Every [aN_*.ml] fixture must fire its rule, every [ok_*.ml] must
+    stay silent; returns one message per violated expectation.  Empty
+    means the rules still catch everything the corpus seeds. *)

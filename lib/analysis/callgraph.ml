@@ -1,0 +1,101 @@
+(* Inter-module, value-level call graph.
+
+   Nodes are canonical toplevel symbols ("Metric.H_metric.h_metric"),
+   edges every global reference collected by the unit walks.  The graph
+   over-approximates calls (referencing a function counts, whether or
+   not it is ever applied) which is the right direction for a taint
+   analysis; what it cannot see is a call through a function {e value}
+   received as an argument — such higher-order flows must be covered by
+   the runtime determinism replays instead (DESIGN.md §8). *)
+
+type t = {
+  succ : (string, (string * int) list) Hashtbl.t;
+      (* symbol -> (target, line) in first-seen order *)
+  defined : (string, string) Hashtbl.t; (* symbol -> source file *)
+}
+
+let build units =
+  let succ = Hashtbl.create 1024 in
+  let defined = Hashtbl.create 1024 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun d -> Hashtbl.replace defined d u.Unit_info.source)
+        u.Unit_info.defs;
+      List.iter
+        (fun e ->
+          let cur =
+            match Hashtbl.find_opt succ e.Unit_info.from_ with
+            | Some l -> l
+            | None -> []
+          in
+          if not (List.mem_assoc e.Unit_info.target cur) then
+            Hashtbl.replace succ e.Unit_info.from_
+              ((e.Unit_info.target, e.Unit_info.line) :: cur))
+        u.Unit_info.edges)
+    units;
+  (* Store successor lists in deterministic first-seen order. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) succ [] in
+  List.iter
+    (fun k -> Hashtbl.replace succ k (List.rev (Hashtbl.find succ k)))
+    keys;
+  { succ; defined }
+
+let successors t sym =
+  match Hashtbl.find_opt t.succ sym with Some l -> l | None -> []
+
+let source_of t sym = Hashtbl.find_opt t.defined sym
+
+let nodes t =
+  let all = Hashtbl.fold (fun k _ acc -> k :: acc) t.defined [] in
+  List.sort String.compare all
+
+(* Breadth-first reachability from [roots] (symbol specs, see
+   {!Syms.spec_matches}).  [cut] prunes trusted symbols.  Returns the
+   reached set with parent pointers for path reconstruction. *)
+type reach = {
+  parent : (string, string option) Hashtbl.t; (* None for roots *)
+  order : string list; (* visit order, deterministic *)
+}
+
+let reachable t ~roots ~cut =
+  let parent = Hashtbl.create 256 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  List.iter
+    (fun sym ->
+      if
+        List.exists (fun spec -> Syms.spec_matches ~spec sym) roots
+        && (not (cut sym))
+        && not (Hashtbl.mem parent sym)
+      then begin
+        Hashtbl.replace parent sym None;
+        order := sym :: !order;
+        Queue.push sym queue
+      end)
+    (nodes t);
+  while not (Queue.is_empty queue) do
+    let sym = Queue.pop queue in
+    List.iter
+      (fun (target, _) ->
+        if
+          Hashtbl.mem t.defined target
+          && (not (Hashtbl.mem parent target))
+          && not (cut target)
+        then begin
+          Hashtbl.replace parent target (Some sym);
+          order := target :: !order;
+          Queue.push target queue
+        end)
+      (successors t sym)
+  done;
+  { parent; order = List.rev !order }
+
+let chain r sym =
+  let rec up acc sym =
+    match Hashtbl.find_opt r.parent sym with
+    | Some (Some p) -> up (sym :: acc) p
+    | Some None -> sym :: acc
+    | None -> sym :: acc
+  in
+  up [] sym

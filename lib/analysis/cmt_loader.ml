@@ -1,0 +1,89 @@
+(* Locating and reading the .cmt artifacts dune produces.
+
+   Dune stores binary annotations next to the bytecode objects:
+   [<build>/lib/<dir>/.<lib>.objs/byte/<lib>__<Module>.cmt] for
+   libraries and [<build>/bin/.<exe>.eobjs/byte/...] for executables.
+   The analyzer never recompiles anything — it only reads what a prior
+   [dune build @check] (or any full build) left behind, which is also
+   how the [@lint] alias sequences it. *)
+
+type unit_file = { cmt_path : string; modname : string; source : string }
+
+let env_root = "SBGP_CMT_ROOT"
+
+let is_objs_dir name =
+  let has_suffix s suf =
+    let n = String.length s and m = String.length suf in
+    n >= m && String.sub s (n - m) m = suf
+  in
+  String.length name > 0
+  && name.[0] = '.'
+  && (has_suffix name ".objs" || has_suffix name ".eobjs")
+
+let readdir_sorted dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort String.compare entries;
+      Array.to_list entries
+  | exception Sys_error _ -> []
+
+(* All .cmt files under [root]/[dir], in deterministic (sorted) order. *)
+let rec find_cmts acc path =
+  if not (Sys.file_exists path && Sys.is_directory path) then acc
+  else
+    List.fold_left
+      (fun acc entry ->
+        let full = Filename.concat path entry in
+        if Sys.is_directory full then
+          if is_objs_dir entry then
+            let byte = Filename.concat full "byte" in
+            let from = if Sys.file_exists byte then byte else full in
+            List.fold_left
+              (fun acc f ->
+                if Filename.check_suffix f ".cmt" then
+                  Filename.concat from f :: acc
+                else acc)
+              acc (readdir_sorted from)
+          else find_cmts acc full
+        else acc)
+      acc (readdir_sorted path)
+
+let scan ~root ~dirs =
+  List.concat_map
+    (fun d -> List.rev (find_cmts [] (Filename.concat root d)))
+    dirs
+
+(* A plausible build root contains at least one dune object directory
+   below [lib]. *)
+let looks_like_root dir =
+  let lib = Filename.concat dir "lib" in
+  Sys.file_exists lib && Sys.is_directory lib
+  && List.exists
+       (fun sub ->
+         let full = Filename.concat lib sub in
+         Sys.is_directory full
+         && List.exists is_objs_dir (readdir_sorted full))
+       (readdir_sorted lib)
+
+let locate_build_root () =
+  match Sys.getenv_opt env_root with
+  | Some r when looks_like_root r -> Some r
+  | Some _ | None ->
+      List.find_opt looks_like_root
+        [ "_build/default"; "."; ".."; "../.."; "../../.." ]
+
+let read file =
+  match Cmt_format.read_cmt file with
+  | infos ->
+      let source =
+        match infos.Cmt_format.cmt_sourcefile with
+        | Some s -> s
+        | None -> file
+      in
+      Ok
+        ( { cmt_path = file; modname = infos.Cmt_format.cmt_modname; source },
+          infos )
+  | exception exn ->
+      (* Corrupt or version-skewed artifact: report, don't crash — the
+         caller surfaces this as an ast/cmt-unreadable warning. *)
+      Error (Printexc.to_string exn)

@@ -1,0 +1,295 @@
+(* The rule catalogue (policy layer).
+
+   A1 ast/poly-compare      polymorphic compare/equal/hash — including
+                            aliases, partial applications and the
+                            List.mem/assoc family — on a non-immediate
+                            type in a hot-path module.
+   A2 ast/determinism-taint nondeterministic primitive (unordered
+                            Hashtbl iteration, Random outside lib/rng,
+                            wall-clock reads, Domain.self) either
+                            reachable in the call graph from a
+                            determinism root or written directly in a
+                            hot-path module.
+   A3 ast/unsafe-access     Array.unsafe_get/set outside the vetted
+                            kernel modules; Obj.magic anywhere.
+   A4 ast/float-compare     polymorphic =/compare instantiated at float
+                            (metric values) — exact float comparison.
+   A5 ast/exn-swallow       catch-all or bound-but-ignored exception
+                            handlers; Printexc.print_backtrace escapes.
+
+   Every exemption must come from the checked-in allowlist file; the
+   diagnostics embed "source:line:" so tests and editors can jump to
+   the site. *)
+
+module D = Check.Diagnostic
+
+let rule_poly = "ast/poly-compare"
+let rule_taint = "ast/determinism-taint"
+let rule_unsafe = "ast/unsafe-access"
+let rule_float = "ast/float-compare"
+let rule_swallow = "ast/exn-swallow"
+let rule_missing = "ast/cmt-missing"
+let rule_unreadable = "ast/cmt-unreadable"
+let rule_allowlist = "ast/allowlist"
+
+type config = {
+  hot_scopes : string list;  (* A1/A4 and the direct A2 scan *)
+  swallow_scopes : string list;  (* A5 *)
+  unsafe_scopes : string list;  (* A3 *)
+  kernel_modules : string list;  (* A3: Array.unsafe_* permitted here *)
+  taint_roots : string list;  (* A2 call-graph roots (symbol specs) *)
+  rng_scopes : string list;  (* Random.* permitted here *)
+  allow : Allowlist.t;
+}
+
+let default ?(allow = Allowlist.empty) () =
+  {
+    hot_scopes =
+      [ "lib/routing"; "lib/metric"; "lib/parallel";
+        "lib/prelude/shard_cache.ml" ];
+    swallow_scopes = [ "lib"; "bin" ];
+    unsafe_scopes = [ "lib"; "bin" ];
+    kernel_modules =
+      [ "Routing.Engine"; "Routing.Reach"; "Routing.Staged";
+        "Topology.Graph.Csr" ];
+    taint_roots =
+      [ "Routing.Engine.compute"; "Routing.Reference.*";
+        "Metric.H_metric.*"; "Check.Kernel.*" ];
+    rng_scopes = [ "lib/rng" ];
+    allow;
+  }
+
+(* Intermediate findings so the final report can be sorted by
+   (source, line, rule) with a real integer line compare. *)
+type finding = { source : string; line : int; rule : string; text : string }
+
+let strip_stdlib op =
+  if String.length op > 7 && String.sub op 0 7 = "Stdlib." then
+    String.sub op 7 (String.length op - 7)
+  else op
+
+let allowed cfg ~rule sym = Allowlist.permits cfg.allow ~rule sym
+
+let in_kernel cfg sym =
+  List.exists (fun spec -> Syms.spec_matches ~spec sym) cfg.kernel_modules
+
+(* --- A1 / A4 -------------------------------------------------------- *)
+
+let poly_findings cfg reg (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:cfg.hot_scopes u.source) then []
+  else
+    List.filter_map
+      (fun (o : Unit_info.occurrence) ->
+        match o.kind with
+        | Unit_info.Poly_compare { op; subject } -> (
+            let verdict =
+              match subject with
+              | Some ty -> Typereg.classify reg ty
+              | None -> Typereg.Polymorphic
+            in
+            let op = strip_stdlib op in
+            match verdict with
+            | Typereg.Immediate -> None
+            | Typereg.Float ->
+                if allowed cfg ~rule:rule_float o.encl then None
+                else
+                  Some
+                    {
+                      source = u.source;
+                      line = o.line;
+                      rule = rule_float;
+                      text =
+                        Printf.sprintf
+                          "exact float comparison `%s` (in %s); compare \
+                           against explicit bounds or allowlist the site"
+                          op o.encl;
+                    }
+            | Typereg.Boxed desc ->
+                if allowed cfg ~rule:rule_poly o.encl then None
+                else
+                  Some
+                    {
+                      source = u.source;
+                      line = o.line;
+                      rule = rule_poly;
+                      text =
+                        Printf.sprintf
+                          "polymorphic `%s` on %s (in %s); use a \
+                           monomorphic comparator"
+                          op desc o.encl;
+                    }
+            | Typereg.Polymorphic ->
+                if allowed cfg ~rule:rule_poly o.encl then None
+                else
+                  Some
+                    {
+                      source = u.source;
+                      line = o.line;
+                      rule = rule_poly;
+                      text =
+                        Printf.sprintf
+                          "`%s` kept polymorphic (alias or higher-order \
+                           use, in %s); it will box and structurally \
+                           compare whatever it meets"
+                          op o.encl;
+                    })
+        | _ -> None)
+      u.occs
+
+(* --- A2 ------------------------------------------------------------- *)
+
+let taint_findings cfg graph units =
+  let hashtbl_mods =
+    List.concat_map (fun u -> u.Unit_info.hashtbl_mods) units
+  in
+  let rng_sym sym =
+    match Callgraph.source_of graph sym with
+    | Some src -> Syms.in_scope ~scopes:cfg.rng_scopes src
+    | None -> false
+  in
+  (* (a) primitives written directly in determinism-critical modules *)
+  let direct =
+    List.concat_map
+      (fun (u : Unit_info.t) ->
+        if not (Syms.in_scope ~scopes:cfg.hot_scopes u.source) then []
+        else
+          List.filter_map
+            (fun (o : Unit_info.occurrence) ->
+              match o.kind with
+              | Unit_info.Nondet_prim name
+                when (not (allowed cfg ~rule:rule_taint o.encl))
+                     && not
+                          (Syms.in_scope ~scopes:cfg.rng_scopes u.source) ->
+                  Some
+                    {
+                      source = u.source;
+                      line = o.line;
+                      rule = rule_taint;
+                      text =
+                        Printf.sprintf
+                          "nondeterministic primitive %s in \
+                           determinism-critical module (in %s)"
+                          (strip_stdlib name) o.encl;
+                    }
+              | _ -> None)
+            u.occs)
+      units
+  in
+  (* (b) primitives reachable from the determinism roots *)
+  let reach =
+    Callgraph.reachable graph ~roots:cfg.taint_roots
+      ~cut:(allowed cfg ~rule:rule_taint)
+  in
+  let seen = Hashtbl.create 32 in
+  let via_graph =
+    List.concat_map
+      (fun sym ->
+        if rng_sym sym then []
+        else
+          List.filter_map
+            (fun (target, line) ->
+              if
+                Unit_info.is_nondet ~hashtbl_mods target
+                && (not (Syms.spec_matches ~spec:"Stdlib.Random.*" target
+                         && rng_sym sym))
+                && not (Hashtbl.mem seen (sym, target))
+              then begin
+                Hashtbl.replace seen (sym, target) ();
+                let source =
+                  match Callgraph.source_of graph sym with
+                  | Some s -> s
+                  | None -> "<unknown>"
+                in
+                Some
+                  {
+                    source;
+                    line;
+                    rule = rule_taint;
+                    text =
+                      Printf.sprintf
+                        "determinism root reaches %s via %s"
+                        (strip_stdlib target)
+                        (String.concat " -> " (Callgraph.chain reach sym));
+                  }
+              end
+              else None)
+            (Callgraph.successors graph sym))
+      reach.Callgraph.order
+  in
+  direct @ via_graph
+
+(* --- A3 ------------------------------------------------------------- *)
+
+let unsafe_findings cfg (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:cfg.unsafe_scopes u.source) then []
+  else
+    List.filter_map
+      (fun (o : Unit_info.occurrence) ->
+        match o.kind with
+        | Unit_info.Unsafe_access name ->
+            let magic = name = "Stdlib.Obj.magic" in
+            if
+              ((not magic) && in_kernel cfg o.encl)
+              || allowed cfg ~rule:rule_unsafe o.encl
+            then None
+            else
+              Some
+                {
+                  source = u.source;
+                  line = o.line;
+                  rule = rule_unsafe;
+                  text =
+                    (if magic then
+                       Printf.sprintf
+                         "Obj.magic (in %s) is never justified here" o.encl
+                     else
+                       Printf.sprintf
+                         "%s outside the vetted kernel modules (in %s)"
+                         (strip_stdlib name) o.encl);
+                }
+        | _ -> None)
+      u.occs
+
+(* --- A5 ------------------------------------------------------------- *)
+
+let swallow_findings cfg (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:cfg.swallow_scopes u.source) then []
+  else
+    List.filter_map
+      (fun (o : Unit_info.occurrence) ->
+        match o.kind with
+        | Unit_info.Exn_swallow detail
+          when not (allowed cfg ~rule:rule_swallow o.encl) ->
+            Some
+              {
+                source = u.source;
+                line = o.line;
+                rule = rule_swallow;
+                text = Printf.sprintf "%s (in %s)" detail o.encl;
+              }
+        | _ -> None)
+      u.occs
+
+(* --- driver --------------------------------------------------------- *)
+
+let compare_finding a b =
+  let c = String.compare a.source b.source in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.rule b.rule in
+      if c <> 0 then c else String.compare a.text b.text
+
+let to_diag f =
+  D.error ~rule:f.rule (Printf.sprintf "%s:%d: %s" f.source f.line f.text)
+
+let apply cfg reg graph units =
+  let findings =
+    List.concat_map (poly_findings cfg reg) units
+    @ taint_findings cfg graph units
+    @ List.concat_map (unsafe_findings cfg) units
+    @ List.concat_map (swallow_findings cfg) units
+  in
+  List.map to_diag (List.sort_uniq compare_finding findings)

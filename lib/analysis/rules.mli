@@ -1,0 +1,43 @@
+(** The rule catalogue: turn collected facts into diagnostics.
+
+    - A1 [ast/poly-compare]: polymorphic compare/equal/hash (including
+      aliases and the List.mem/assoc family) on non-immediate types in
+      hot-path modules.
+    - A2 [ast/determinism-taint]: nondeterministic primitives reachable
+      from the determinism roots, or written directly in hot-path
+      modules.
+    - A3 [ast/unsafe-access]: [Array.unsafe_*] outside the vetted
+      kernels; [Obj.magic] anywhere.
+    - A4 [ast/float-compare]: polymorphic comparison instantiated at
+      [float].
+    - A5 [ast/exn-swallow]: catch-all or ignored-exception handlers. *)
+
+val rule_poly : string
+val rule_taint : string
+val rule_unsafe : string
+val rule_float : string
+val rule_swallow : string
+val rule_missing : string
+val rule_unreadable : string
+val rule_allowlist : string
+
+type config = {
+  hot_scopes : string list;
+  swallow_scopes : string list;
+  unsafe_scopes : string list;
+  kernel_modules : string list;
+  taint_roots : string list;
+  rng_scopes : string list;
+  allow : Allowlist.t;
+}
+
+val default : ?allow:Allowlist.t -> unit -> config
+
+val apply :
+  config ->
+  Typereg.t ->
+  Callgraph.t ->
+  Unit_info.t list ->
+  Check.Diagnostic.t list
+(** Findings sorted by (source, line, rule); each message begins with
+    ["<source>:<line>: "]. *)

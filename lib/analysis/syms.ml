@@ -1,0 +1,107 @@
+(* Canonical symbol names.
+
+   Dune mangles wrapped-library modules as [Lib__Module] ("Routing__Engine")
+   and executable modules as [Dune__exe__Name]; references in one unit can
+   reach the same value through either spelling, or through a local module
+   alias ([module E = Routing.Engine]).  Every name the analyzer stores —
+   node, edge target, type path, allowlist entry — goes through [canon]
+   first so that all spellings collapse to one dotted form
+   ("Routing.Engine.compute"). *)
+
+let exe_prefix = "Dune__exe__"
+
+(* "Routing__Engine" -> ["Routing"; "Engine"].  A component without the
+   dune separator is returned as-is; a trailing/leading separator (never
+   produced by dune) is left alone. *)
+let split_mangled comp =
+  match String.index_opt comp '_' with
+  | None -> [ comp ]
+  | Some _ -> (
+      match String.split_on_char '_' comp with
+      | [ a; ""; b ] when a <> "" && b <> "" && b.[0] >= 'A' && b.[0] <= 'Z'
+        ->
+          (* exactly one "__" *)
+          [ a; b ]
+      | _ ->
+          (* Several or irregular underscores: only handle the standard
+             two-part mangling, via a manual scan for the first "__"
+             followed by an uppercase letter. *)
+          let n = String.length comp in
+          let rec find i =
+            if i + 2 >= n then None
+            else if
+              comp.[i] = '_'
+              && comp.[i + 1] = '_'
+              && comp.[i + 2] >= 'A'
+              && comp.[i + 2] <= 'Z'
+            then Some i
+            else find (i + 1)
+          in
+          (match find 0 with
+          | None -> [ comp ]
+          | Some i ->
+              [ String.sub comp 0 i; String.sub comp (i + 2) (n - i - 2) ]))
+
+let canon_component comp =
+  let comp =
+    if
+      String.length comp > String.length exe_prefix
+      && String.sub comp 0 (String.length exe_prefix) = exe_prefix
+    then
+      String.sub comp (String.length exe_prefix)
+        (String.length comp - String.length exe_prefix)
+    else comp
+  in
+  split_mangled comp
+
+(* Operators print as "( = )" in some contexts; strip the decoration so
+   the polymorphic-operator table can key on the bare name. *)
+let strip_parens s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '(' && s.[n - 1] = ')' then
+    String.trim (String.sub s 1 (n - 2))
+  else s
+
+let canon_string name =
+  String.split_on_char '.' name
+  |> List.concat_map canon_component
+  |> List.map strip_parens
+  |> String.concat "."
+
+(* [resolve] maps a leading path component (a local module alias or a
+   locally defined module) to its canonical prefix; identity when the
+   component is not local. *)
+let canon_path ?(resolve = fun _ -> None) path =
+  let name = canon_string (Path.name path) in
+  match String.index_opt name '.' with
+  | None -> ( match resolve name with Some p -> p | None -> name)
+  | Some i -> (
+      let head = String.sub name 0 i in
+      let rest = String.sub name i (String.length name - i) in
+      match resolve head with Some p -> p ^ rest | None -> name)
+
+(* Allowlist / root / scope matching: [spec] matches [sym] when they are
+   equal, when [sym] lives below [spec] ("Routing.Reference" matches
+   "Routing.Reference.compute"), or when [spec] is an explicit prefix
+   pattern "Metric.H_metric.*". *)
+let spec_matches ~spec sym =
+  let prefix p =
+    String.length sym > String.length p
+    && String.sub sym 0 (String.length p) = p
+  in
+  let n = String.length spec in
+  if n >= 2 && String.sub spec (n - 2) 2 = ".*" then
+    prefix (String.sub spec 0 (n - 1))
+  else spec = sym || prefix (spec ^ ".")
+
+(* Source-path scoping: a scope entry is a directory prefix
+   ("lib/routing") or an exact file ("lib/prelude/shard_cache.ml"). *)
+let in_scope ~scopes source =
+  List.exists
+    (fun s ->
+      source = s
+      || String.length source > String.length s
+         && String.sub source 0 (String.length s) = s
+         && (s.[String.length s - 1] = '/' || source.[String.length s] = '/'))
+    scopes

@@ -1,0 +1,27 @@
+(** Canonical symbol names for the typed-AST analyzer.
+
+    Every name stored by the analyzer — call-graph node, edge target,
+    type path, allowlist entry, taint root — is first pushed through
+    {!canon_string}/{!canon_path} so that dune's [Lib__Module] mangling,
+    executable [Dune__exe__] prefixes, operator parentheses and local
+    module aliases all collapse to one dotted spelling
+    (["Routing.Engine.compute"]). *)
+
+val canon_string : string -> string
+(** ["Routing__Engine.compute"] -> ["Routing.Engine.compute"];
+    ["Dune__exe__Sbgp"] -> ["Sbgp"]; ["Stdlib.( = )"] -> ["Stdlib.="]. *)
+
+val canon_path : ?resolve:(string -> string option) -> Path.t -> string
+(** Canonicalize a typedtree path.  [resolve] maps a {e leading}
+    component that names a local module (alias or definition) to its
+    canonical prefix; return [None] for non-local components. *)
+
+val spec_matches : spec:string -> string -> bool
+(** Symbol matching for allowlists, taint roots and module scopes:
+    [spec] matches itself, anything below it (["Routing.Reference"]
+    matches ["Routing.Reference.compute"]), and supports an explicit
+    ["Prefix.*"] form. *)
+
+val in_scope : scopes:string list -> string -> bool
+(** Source-path scoping: each scope is a directory prefix
+    (["lib/routing"]) or an exact file (["lib/prelude/shard_cache.ml"]). *)

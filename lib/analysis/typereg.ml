@@ -1,0 +1,90 @@
+(* Type-immediacy oracle over the whole scanned tree.
+
+   Polymorphic comparison is only harmless on immediate types (ints and
+   all-constant variants): no boxing, no deep traversal, no
+   field-irrelevance surprises.  The typechecker already computed
+   immediacy for every declaration and stored it in the .cmt
+   ([type_immediate]); this registry collects all declarations keyed by
+   canonical path so a subject type like [Routing.Policy.t] or a local
+   abbreviation [type rank = int] can be resolved without rebuilding
+   typing environments (no Envaux / Load_path needed — exactly why the
+   analyzer can run on bare artifacts). *)
+
+type verdict =
+  | Immediate  (* int-like: polymorphic comparison is fine *)
+  | Float  (* exact float comparison: rule A4 territory *)
+  | Boxed of string  (* structural comparison on a boxed type: A1 *)
+  | Polymorphic
+      (* the comparison was never instantiated — an alias like
+         [let equal = (=)] or a polymorphic helper: A1 *)
+
+type t = { decls : (string, Types.type_declaration) Hashtbl.t }
+
+let build units =
+  let decls = Hashtbl.create 256 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun (name, d) -> Hashtbl.replace decls name d)
+        u.Unit_info.tydecls)
+    units;
+  { decls }
+
+let predef_immediate p =
+  Path.same p Predef.path_int || Path.same p Predef.path_bool
+  || Path.same p Predef.path_char
+  || Path.same p Predef.path_unit
+
+(* Short human descriptor of a type head for diagnostics. *)
+let rec describe t ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, args, _) ->
+      let base = Syms.canon_string (Path.name p) in
+      (match args with
+      | [] -> base
+      | a :: _ -> (
+          match Types.get_desc a with
+          | Types.Tconstr (q, [], _) ->
+              Syms.canon_string (Path.name q) ^ " " ^ base
+          | _ -> base))
+  | Types.Ttuple _ -> "tuple"
+  | Types.Tarrow _ -> "function"
+  | Types.Tvar _ | Types.Tunivar _ -> "'a (never instantiated)"
+  | Types.Tpoly (ty, _) -> describe t ty
+  | Types.Tvariant _ -> "polymorphic variant"
+  | Types.Tobject _ -> "object"
+  | Types.Tpackage _ -> "first-class module"
+  | Types.Tlink ty | Types.Tsubst (ty, _) -> describe t ty
+  | Types.Tfield _ | Types.Tnil -> "row"
+
+let rec classify ?(depth = 0) t ty =
+  if depth > 32 then Boxed "recursive abbreviation"
+  else
+    match Types.get_desc ty with
+    | Types.Tvar _ | Types.Tunivar _ -> Polymorphic
+    | Types.Tpoly (ty, _) -> classify ~depth:(depth + 1) t ty
+    | Types.Tconstr (p, _, _) ->
+        if predef_immediate p then Immediate
+        else if Path.same p Predef.path_float then Float
+        else (
+          match
+            Hashtbl.find_opt t.decls (Syms.canon_string (Path.name p))
+          with
+          | Some d -> classify_decl ~depth:(depth + 1) t d ty
+          | None -> Boxed (describe t ty))
+    | _ -> Boxed (describe t ty)
+
+and classify_decl ~depth t d ty =
+  match d.Types.type_immediate with
+  | Type_immediacy.Always | Type_immediacy.Always_on_64bits -> Immediate
+  | Type_immediacy.Unknown -> (
+      match d.Types.type_manifest with
+      | Some m -> (
+          (* An abbreviation: resolve through the manifest.  Type
+             parameters are not substituted — good enough for verdicts,
+             since immediacy of the uses below never depends on them in
+             this codebase. *)
+          match classify ~depth t m with
+          | Polymorphic -> Boxed (describe t ty)
+          | v -> v)
+      | None -> Boxed (describe t ty))

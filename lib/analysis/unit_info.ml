@@ -1,0 +1,332 @@
+(* Single-unit Typedtree walk: facts only, no policy.
+
+   For one .cmt implementation this records everything the rules later
+   judge: polymorphic-comparison uses with the instantiated subject
+   type, unsafe-access and nondeterministic-primitive identifiers,
+   exception-swallowing handlers, the value-level call edges that feed
+   the inter-module call graph, and the type declarations that feed the
+   immediacy registry.  Scoping (which directories a rule covers) and
+   the allowlist are applied downstream in {!Rules} — the walk itself is
+   identical for library code and for the deliberately-bad fixture
+   corpus.
+
+   Resolution notes.  The typechecker stores fully resolved paths, so
+   [open] never hides an identifier's origin; what does hide it are
+   local module aliases ([module E = Routing.Engine]) and references to
+   values of the unit itself ([Pident]).  The walk therefore tracks a
+   per-unit alias map and the set of toplevel values defined so far
+   (OCaml values cannot be forward-referenced, so "so far" is exact up
+   to mutually recursive bindings, which are pre-registered per
+   group). *)
+
+open Typedtree
+
+type kind =
+  | Poly_compare of { op : string; subject : Types.type_expr option }
+      (* [op] canonical ("Stdlib.=", "Stdlib.List.mem"); [subject] the
+         instantiated type being compared (first argument), [None] when
+         no arrow type was recoverable. *)
+  | Unsafe_access of string
+  | Nondet_prim of string
+  | Exn_swallow of string
+
+type occurrence = { kind : kind; encl : string; line : int }
+type edge = { from_ : string; target : string; line : int }
+
+type t = {
+  modname : string;
+  source : string;
+  defs : string list;
+  edges : edge list;
+  occs : occurrence list;
+  tydecls : (string * Types.type_declaration) list;
+  hashtbl_mods : string list;
+}
+
+(* --- identifier tables (Stdlib facts, not policy) ------------------- *)
+
+let poly_operators =
+  [
+    "Stdlib.compare"; "Stdlib.="; "Stdlib.<>"; "Stdlib.<"; "Stdlib.>";
+    "Stdlib.<="; "Stdlib.>="; "Stdlib.min"; "Stdlib.max";
+    "Stdlib.Hashtbl.hash"; "Stdlib.Hashtbl.seeded_hash";
+  ]
+
+(* Containers whose membership/association defaults to polymorphic
+   equality on the element/key. *)
+let poly_containers =
+  [
+    "Stdlib.List.mem"; "Stdlib.List.assoc"; "Stdlib.List.assoc_opt";
+    "Stdlib.List.mem_assoc"; "Stdlib.List.remove_assoc"; "Stdlib.Array.mem";
+  ]
+
+let is_poly name =
+  List.mem name poly_operators || List.mem name poly_containers
+
+let unsafe_idents =
+  [ "Stdlib.Array.unsafe_get"; "Stdlib.Array.unsafe_set"; "Stdlib.Obj.magic" ]
+
+let nondet_exact =
+  [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Stdlib.Domain.self" ]
+
+let unordered_table_ops =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+let hashtbl_functors =
+  [
+    "Stdlib.Hashtbl.Make"; "Stdlib.Hashtbl.MakeSeeded";
+    "Stdlib.MoreLabels.Hashtbl.Make";
+  ]
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let split_last name =
+  match String.rindex_opt name '.' with
+  | None -> ("", name)
+  | Some i ->
+      ( String.sub name 0 i,
+        String.sub name (i + 1) (String.length name - i - 1) )
+
+let is_nondet ~hashtbl_mods name =
+  starts_with ~prefix:"Stdlib.Random." name
+  || List.mem name nondet_exact
+  ||
+  let base, op = split_last name in
+  List.mem op unordered_table_ops
+  && (base = "Stdlib.Hashtbl" || List.mem base hashtbl_mods)
+
+(* --- helpers -------------------------------------------------------- *)
+
+let arrow_lhs ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, t1, _, _) -> Some t1
+  | _ -> None
+
+let rec binding_name (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (_, name) -> Some name.txt
+  | Tpat_alias (_, _, name) -> Some name.txt
+  | Tpat_tuple ps -> List.find_map binding_name ps
+  | Tpat_construct (_, _, ps, _) -> List.find_map binding_name ps
+  | Tpat_record (fields, _) ->
+      List.find_map (fun (_, _, p) -> binding_name p) fields
+  | _ -> None
+
+let rec pat_catches_all (p : pattern) =
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_or (a, b, _) -> pat_catches_all a || pat_catches_all b
+  | _ -> false
+
+let rec pat_binder (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, name) -> Some (id, name.txt)
+  | Tpat_alias ({ pat_desc = Tpat_any; _ }, id, name) -> Some (id, name.txt)
+  | Tpat_or (a, _, _) -> pat_binder a
+  | _ -> None
+
+let uses_of_ident id expr0 guard =
+  let count = ref 0 in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (Path.Pident i, _, _) when Ident.same i id ->
+              incr count
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it expr0;
+  (match guard with Some g -> it.expr it g | None -> ());
+  !count
+
+(* --- the walk ------------------------------------------------------- *)
+
+let walk ~modname ~source str =
+  let modname = Syms.canon_string modname in
+  let defs_tbl = Hashtbl.create 64 in
+  let defs = ref [] in
+  let edges = ref [] in
+  let occs = ref [] in
+  let tydecls = ref [] in
+  let hashtbl_mods = ref [] in
+  let local_modules : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let stack = ref [] in
+  let prefix () = String.concat "." (modname :: List.rev !stack) in
+  let cur = ref (modname ^ ".(init)") in
+  let line (loc : Location.t) = loc.loc_start.pos_lnum in
+  let add_def sym =
+    if not (Hashtbl.mem defs_tbl sym) then begin
+      Hashtbl.replace defs_tbl sym ();
+      defs := sym :: !defs
+    end
+  in
+  let resolve_local head = Hashtbl.find_opt local_modules head in
+  let canon p = Syms.canon_path ~resolve:resolve_local p in
+  (* A [Pident] value reference: resolve against the unit's own
+     definitions, innermost module first. *)
+  let resolve_value name =
+    let rec up = function
+      | [] -> None
+      | comps ->
+          let sym = String.concat "." (List.rev comps) ^ "." ^ name in
+          if Hashtbl.mem defs_tbl sym then Some sym
+          else up (List.tl comps)
+    in
+    up (List.rev (modname :: List.rev !stack))
+  in
+  let add_occ kind loc = occs := { kind; encl = !cur; line = line loc } :: !occs in
+  let add_edge target loc =
+    edges := { from_ = !cur; target; line = line loc } :: !edges
+  in
+  (* Classify one resolved global identifier; [subject] only matters for
+     polymorphic comparisons. *)
+  let global_ident name ~subject loc =
+    add_edge name loc;
+    if is_poly name then add_occ (Poly_compare { op = name; subject }) loc
+    else if List.mem name unsafe_idents then add_occ (Unsafe_access name) loc
+    else if name = "Stdlib.Printexc.print_backtrace" then
+      add_occ (Exn_swallow "Printexc.print_backtrace (debugging escape)") loc
+    else if is_nondet ~hashtbl_mods:!hashtbl_mods name then
+      add_occ (Nondet_prim name) loc
+  in
+  let ident path ~subject loc =
+    let name = canon path in
+    if String.contains name '.' then global_ident name ~subject loc
+    else
+      match resolve_value name with
+      | Some sym -> add_edge sym loc
+      | None -> ()
+  in
+  let rec peel_module me =
+    match me.mod_desc with
+    | Tmod_constraint (m, _, _, _) -> peel_module m
+    | _ -> me
+  in
+  let register_module name mexpr =
+    match (peel_module mexpr).mod_desc with
+    | Tmod_ident (p, _) ->
+        Hashtbl.replace local_modules name (canon p);
+        `Alias
+    | Tmod_apply (f, _, _)
+      when match (peel_module f).mod_desc with
+           | Tmod_ident (p, _) -> List.mem (canon p) hashtbl_functors
+           | _ -> false ->
+        let full = prefix () ^ "." ^ name in
+        hashtbl_mods := full :: !hashtbl_mods;
+        Hashtbl.replace local_modules name full;
+        `Structure
+    | _ ->
+        Hashtbl.replace local_modules name (prefix () ^ "." ^ name);
+        `Structure
+  in
+  let swallow_cases cases =
+    List.iter
+      (fun c ->
+        if pat_catches_all c.c_lhs then
+          add_occ (Exn_swallow "\"with _ ->\" discards every exception")
+            c.c_lhs.pat_loc
+        else
+          match pat_binder c.c_lhs with
+          | Some (id, name) when uses_of_ident id c.c_rhs c.c_guard = 0 ->
+              add_occ
+                (Exn_swallow
+                   (Printf.sprintf
+                      "exception bound as %s but never consulted" name))
+                c.c_lhs.pat_loc
+          | _ -> ())
+      cases
+  in
+  let expr sub e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> ident p ~subject:(arrow_lhs e.exp_type) e.exp_loc
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as f), args)
+      when is_poly (canon p) ->
+        let subject =
+          match
+            List.find_map
+              (function
+                | Asttypes.Nolabel, Some a -> Some a.exp_type | _ -> None)
+              args
+          with
+          | Some t -> Some t
+          | None -> arrow_lhs f.exp_type
+        in
+        global_ident (canon p) ~subject f.exp_loc;
+        List.iter (fun (_, a) -> Option.iter (sub.Tast_iterator.expr sub) a) args
+    | Texp_try (_body, cases) ->
+        swallow_cases cases;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_letmodule (_, name, _, mexpr, _) ->
+        (match name.txt with
+        | Some n -> ignore (register_module n mexpr)
+        | None -> ());
+        Tast_iterator.default_iterator.expr sub e
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let value_bindings sub vbs =
+    (* Pre-register the whole group so mutually recursive bindings
+       resolve each other. *)
+    let syms =
+      List.map
+        (fun vb ->
+          match binding_name vb.vb_pat with
+          | Some n ->
+              let sym = prefix () ^ "." ^ n in
+              add_def sym;
+              Some sym
+          | None -> None)
+        vbs
+    in
+    List.iter2
+      (fun vb sym ->
+        let saved = !cur in
+        cur := (match sym with Some s -> s | None -> prefix () ^ ".(init)");
+        sub.Tast_iterator.expr sub vb.vb_expr;
+        cur := saved)
+      vbs syms
+  in
+  let module_binding sub mb =
+    let name = match mb.mb_name.txt with Some n -> n | None -> "_" in
+    match register_module name mb.mb_expr with
+    | `Alias -> ()
+    | `Structure ->
+        stack := name :: !stack;
+        sub.Tast_iterator.module_expr sub mb.mb_expr;
+        stack := List.tl !stack
+  in
+  let structure_item sub item =
+    match item.str_desc with
+    | Tstr_value (_, vbs) -> value_bindings sub vbs
+    | Tstr_module mb -> module_binding sub mb
+    | Tstr_recmodule mbs -> List.iter (module_binding sub) mbs
+    | Tstr_type (_, decls) ->
+        List.iter
+          (fun d ->
+            tydecls :=
+              (prefix () ^ "." ^ Ident.name d.typ_id, d.typ_type) :: !tydecls)
+          decls
+    | Tstr_primitive vd -> add_def (prefix () ^ "." ^ Ident.name vd.val_id)
+    | Tstr_eval (e, _) ->
+        let saved = !cur in
+        cur := prefix () ^ ".(init)";
+        sub.Tast_iterator.expr sub e;
+        cur := saved
+    | _ -> Tast_iterator.default_iterator.structure_item sub item
+  in
+  let it = { Tast_iterator.default_iterator with expr; structure_item } in
+  it.structure it str;
+  {
+    modname;
+    source;
+    defs = List.rev !defs;
+    edges = List.rev !edges;
+    occs = List.rev !occs;
+    tydecls = List.rev !tydecls;
+    hashtbl_mods = List.rev !hashtbl_mods;
+  }

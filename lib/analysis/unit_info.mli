@@ -1,0 +1,48 @@
+(** Single-unit Typedtree walk: facts only, no policy.
+
+    One record per compilation unit, collected in a single
+    {!Tast_iterator} pass: polymorphic-comparison uses with their
+    instantiated subject type, unsafe-access and nondeterministic
+    primitives, exception-swallowing handlers, value-level call edges
+    and type declarations.  Scoping and allowlisting happen in
+    {!Rules}. *)
+
+type kind =
+  | Poly_compare of { op : string; subject : Types.type_expr option }
+      (** [op] is canonical (["Stdlib.="], ["Stdlib.List.mem"]);
+          [subject] the instantiated first-argument type, [None] when no
+          arrow type was recoverable. *)
+  | Unsafe_access of string
+      (** ["Stdlib.Array.unsafe_get"/"unsafe_set"/"Stdlib.Obj.magic"] *)
+  | Nondet_prim of string
+      (** unordered [Hashtbl] iteration (including local [Hashtbl.Make]
+          instances), [Random.*], wall-clock reads, [Domain.self] *)
+  | Exn_swallow of string
+      (** catch-all or bound-but-unused exception handler, or a
+          [Printexc.print_backtrace] debugging escape *)
+
+type occurrence = {
+  kind : kind;
+  encl : string;  (** canonical enclosing toplevel symbol *)
+  line : int;
+}
+
+type edge = { from_ : string; target : string; line : int }
+
+type t = {
+  modname : string;  (** canonical unit name, e.g. ["Routing.Engine"] *)
+  source : string;  (** e.g. ["lib/routing/engine.ml"] *)
+  defs : string list;  (** canonical toplevel value symbols, in order *)
+  edges : edge list;  (** value-level references, callee resolved *)
+  occs : occurrence list;
+  tydecls : (string * Types.type_declaration) list;
+  hashtbl_mods : string list;
+      (** canonical names of local [Hashtbl.Make] instances *)
+}
+
+val is_nondet : hashtbl_mods:string list -> string -> bool
+(** Whether a canonical identifier is a nondeterministic primitive —
+    exported so the taint rule applies the same judgement to call-graph
+    edge targets. *)
+
+val walk : modname:string -> source:string -> Typedtree.structure -> t

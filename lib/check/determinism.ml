@@ -99,7 +99,9 @@ let diff_fields ~want ~got =
                          bad))
          end
        done
-     with _ -> res := "; field replay failed");
+     with exn ->
+       res :=
+         Printf.sprintf "; field replay failed: %s" (Printexc.to_string exn));
     !res
   end
 
@@ -124,7 +126,8 @@ let replay_detail ~compute g policy dep pairs cfg i =
            detail := diff_fields ~want ~got
          end
        done
-     with _ -> ());
+     with exn ->
+       detail := Printf.sprintf "; replay failed: %s" (Printexc.to_string exn));
     !detail
   end
 

@@ -114,4 +114,28 @@ let catalogue =
        computation at some step of a seeded deployment chain" );
     ( "check/false-negative",
       "a mutant with a planted bug was not flagged by the checker" );
+    ( "ast/poly-compare",
+      "polymorphic compare/equal/hash (including aliases and the \
+       List.mem/assoc family) on a non-immediate type in a hot-path \
+       module" );
+    ( "ast/determinism-taint",
+      "a nondeterministic primitive (unordered Hashtbl iteration, \
+       Random outside lib/rng, wall-clock reads, Domain.self) reachable \
+       from a determinism root or written in a hot-path module" );
+    ( "ast/unsafe-access",
+      "Array.unsafe_get/set outside the vetted kernel modules, or \
+       Obj.magic anywhere" );
+    ( "ast/float-compare",
+      "polymorphic comparison instantiated at float (exact float \
+       comparison)" );
+    ( "ast/exn-swallow",
+      "a catch-all or ignored-exception handler, or a \
+       Printexc.print_backtrace debugging escape" );
+    ("ast/cmt-missing", "no .cmt artifacts found; run `dune build @check`");
+    ( "ast/cmt-unreadable",
+      "a .cmt artifact exists but cannot be read (corrupt or \
+       version-skewed)" );
+    ( "ast/allowlist",
+      "tools/astlint/allowlist.txt is malformed (every entry needs \
+       `rule symbol -- reason`)" );
   ]

@@ -37,3 +37,4 @@ module Optimize = Optimize
 module Parallel = Parallel
 module Experiments = Experiments
 module Check = Check
+module Analysis = Analysis

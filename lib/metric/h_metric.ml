@@ -19,7 +19,12 @@ type counts = { happy_lb : int; happy_ub : int; sources : int }
 
 let is_source outcome v =
   v <> Routing.Outcome.dst outcome
-  && Routing.Outcome.attacker outcome <> Some v
+  &&
+  (* Match instead of [<> Some v]: comparing the option structurally
+     boxes an allocation per source per trial. *)
+  match Routing.Outcome.attacker outcome with
+  | Some a -> a <> v
+  | None -> true
 
 let happy outcome =
   let n = Routing.Outcome.n outcome in

@@ -16,7 +16,10 @@ let downgrade_add a b =
     sources = a.sources + b.sources;
   }
 
-let is_source ~attacker ~dst v = v <> attacker && v <> dst
+(* The [int] annotation pins the comparisons to the immediate-int
+   primitives; unannotated this generalizes to ['a] and every call
+   dispatches through the polymorphic runtime. *)
+let is_source ~attacker ~dst (v : int) = v <> attacker && v <> dst
 
 let downgrades g policy dep ~attacker ~dst =
   let normal = Routing.Engine.compute g policy dep ~dst ~attacker:None in

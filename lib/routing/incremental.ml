@@ -26,6 +26,10 @@ type t = {
   changed_full : int array;
   changed_signs : int array;
   status : (int, status) Hashtbl.t; (* per requested destination *)
+  n_clean : int;
+  n_dirty : int;
+      (* tallied during the deterministic pass over [dsts]; [counts]
+         must not fold over the hash table, whose order is arbitrary *)
 }
 
 let changed_sets old_dep new_dep =
@@ -52,6 +56,7 @@ let compute g ~old_dep ~new_dep ~dsts =
   let signs_changed = Prelude.Bitset.create n in
   Array.iter (Prelude.Bitset.add signs_changed) changed_signs;
   let status = Hashtbl.create (Array.length dsts) in
+  let n_clean = ref 0 and n_dirty = ref 0 in
   let no_full_change = Array.length changed_full = 0 in
   Array.iter
     (fun d ->
@@ -89,10 +94,20 @@ let compute g ~old_dep ~new_dep ~dsts =
             if Array.length ws = 0 then Clean else Witnesses ws
           end
         in
+        (match st with
+        | Clean -> incr n_clean
+        | All_dirty | Witnesses _ -> incr n_dirty);
         Hashtbl.replace status d st
       end)
     dsts;
-  { monotone; changed_full; changed_signs; status }
+  {
+    monotone;
+    changed_full;
+    changed_signs;
+    status;
+    n_clean = !n_clean;
+    n_dirty = !n_dirty;
+  }
 
 let monotone t = t.monotone
 let changed_full t = Array.copy t.changed_full
@@ -111,10 +126,4 @@ let dirty_pair t ~attacker ~dst =
   | Some All_dirty -> true
   | Some (Witnesses ws) -> Array.exists (fun w -> w <> attacker) ws
 
-let counts t =
-  Hashtbl.fold
-    (fun _ st (clean, dirty) ->
-      match st with
-      | Clean -> (clean + 1, dirty)
-      | All_dirty | Witnesses _ -> (clean, dirty + 1))
-    t.status (0, 0)
+let counts t = (t.n_clean, t.n_dirty)

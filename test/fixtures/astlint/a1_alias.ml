@@ -1,0 +1,16 @@
+(* Seeded A1 defects: polymorphic comparison reached through aliases
+   and higher-order uses, which the old grep lint could not see. *)
+
+type boxed = { a : int; b : string }
+
+(* Alias of the polymorphic operator: stays ['a -> 'a -> bool]. *)
+let equal = ( = )
+
+(* Alias of Stdlib.compare. *)
+let compare_any = compare
+
+(* Structural comparison of a boxed record. *)
+let same_box (x : boxed) (y : boxed) = x = y
+
+(* Polymorphic compare passed higher-order. *)
+let sorted l = List.sort compare l

@@ -1,0 +1,8 @@
+(* Regression for the old grep lint's comment filter.  That filter was
+   line-local: any hit line beginning with a comment opener (or closer —
+   the regex could not tell them apart) was discarded.  The definition
+   below therefore begins on the same physical line as the closing
+   delimiter of this multi-line comment, and the grep pipeline dropped
+   it even though it is ordinary compiled code mentioning compare.  The
+   typed-AST walk never reads comments, so the finding survives.
+*) let masked_compare (x : string) (y : string) = compare x y

@@ -1,0 +1,10 @@
+(* Seeded A1 defects: the List.mem/assoc family defaults to polymorphic
+   equality on the element/key type. *)
+
+type key = { id : int; tag : string }
+
+let lookup (k : key) table = List.assoc k table
+let member (k : key) ks = List.mem k ks
+
+(* String membership also dispatches through the polymorphic runtime. *)
+let has_name (n : string) names = List.mem n names

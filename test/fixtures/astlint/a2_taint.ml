@@ -1,0 +1,8 @@
+(* Seeded A2 defect: the determinism root reaches unordered Hashtbl
+   iteration two calls deep.  [root_compute] is the taint root the
+   fixture config names; neither intermediate mentions Hashtbl.fold in
+   its own name, so only the call graph can connect them. *)
+
+let tally tbl = Hashtbl.fold (fun _ v acc -> v + acc) tbl 0
+let survey tbl = tally tbl + Hashtbl.length tbl
+let root_compute tbl = survey tbl

@@ -1,0 +1,16 @@
+(* Seeded A3 defects: unsafe array access outside the vetted kernel,
+   and Obj.magic (never permitted, kernel or not). *)
+
+module Vetted_kernel = struct
+  (* Allowed: this module is on the fixture kernel list. *)
+  let sum (a : int array) =
+    let s = ref 0 in
+    for i = 0 to Array.length a - 1 do
+      s := !s + Array.unsafe_get a i
+    done;
+    !s
+end
+
+let peek (a : int array) i = Array.unsafe_get a i
+let poke (a : int array) i v = Array.unsafe_set a i v
+let cast x = Obj.magic x

@@ -1,0 +1,6 @@
+(* Seeded A4 defects: polymorphic comparison instantiated at float —
+   exact float comparison on computed values. *)
+
+let close (a : float) (b : float) = a = b
+let above (x : float) = x >= 1.0
+let worst (xs : float list) = List.sort compare xs

@@ -1,0 +1,12 @@
+(* Seeded A5 defects: handlers that discard what went wrong, and the
+   print_backtrace debugging escape. *)
+
+let parse s = try Some (int_of_string s) with _ -> None
+
+let guard f =
+  try f ()
+  with exn ->
+    (* [exn] is bound but never consulted. *)
+    print_endline "guard: failed"
+
+let trace () = Printexc.print_backtrace stdout

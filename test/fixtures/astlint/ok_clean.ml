@@ -1,0 +1,12 @@
+(* Control fixture: idiomatic code that must produce zero findings —
+   monomorphic comparators, safe indexing, exhaustive handlers. *)
+
+type point = { x : int; y : int }
+
+let eq_point a b = Int.equal a.x b.x && Int.equal a.y b.y
+let eq_name (a : string) b = String.equal a b
+let total (a : int array) = Array.fold_left ( + ) 0 a
+let safe_head = function [] -> None | v :: _ -> Some v
+
+let parse s =
+  match int_of_string_opt s with Some v -> v | None -> 0

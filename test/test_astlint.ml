@@ -1,0 +1,202 @@
+(* The typed-AST analyzer (lib/analysis + sbgp-astlint).
+
+   Three layers: the deliberately-bad fixture corpus must match its
+   golden diagnostic list exactly (so a rule cannot silently widen or
+   narrow); the per-rule false-negative guard must hold (every seeded
+   defect caught, the clean control silent); and the production tree
+   itself must be clean under the checked-in allowlist — the same gate
+   `dune build @lint` enforces.  Plus unit tests for the symbol
+   canonicalizer and the allowlist parser, which the rules lean on. *)
+
+module A = Core.Analysis
+module D = Core.Check.Diagnostic
+
+let root =
+  match A.Cmt_loader.locate_build_root () with
+  | Some r -> r
+  | None -> Alcotest.fail "no build root with .cmt artifacts found"
+
+let fixture_outcome =
+  lazy (A.analyze ~config:A.fixture_config ~root ~dirs:[ A.fixture_dir ] ())
+
+(* ---- golden corpus ------------------------------------------------ *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (if String.trim l = "" then acc else l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_golden () =
+  let outcome = Lazy.force fixture_outcome in
+  let actual = List.map D.to_string outcome.A.report.D.diags in
+  let expected =
+    read_lines (Filename.concat root "test/fixtures/astlint/expected.txt")
+  in
+  if actual <> expected then begin
+    Printf.eprintf "--- actual fixture diagnostics ---\n";
+    List.iter (fun l -> Printf.eprintf "%s\n" l) actual;
+    Printf.eprintf "--- end ---\n%!";
+    Alcotest.failf "fixture diagnostics diverge from expected.txt (%d vs %d)"
+      (List.length actual) (List.length expected)
+  end
+
+(* ---- false-negative guard ----------------------------------------- *)
+
+let test_guard () =
+  let outcome = Lazy.force fixture_outcome in
+  match A.fixture_failures outcome with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "; " fs)
+
+(* Every rule of the catalogue must be represented by at least one
+   fixture finding — a rule with no mutant coverage could regress to
+   never firing without any test noticing. *)
+let test_all_rules_covered () =
+  let outcome = Lazy.force fixture_outcome in
+  let fired rule =
+    List.exists (fun (d : D.t) -> d.rule = rule) outcome.A.report.D.diags
+  in
+  List.iter
+    (fun rule ->
+      if not (fired rule) then
+        Alcotest.failf "no fixture finding for %s" rule)
+    [
+      A.Rules.rule_poly; A.Rules.rule_taint; A.Rules.rule_unsafe;
+      A.Rules.rule_float; A.Rules.rule_swallow;
+    ]
+
+(* The old grep lint dropped any hit line that begins with a comment
+   delimiter, so a definition sharing its line with a comment closer
+   was invisible (tools/lint.sh kept the filter line-local on purpose).
+   The typed walk must catch exactly that fixture. *)
+let test_comment_mask_regression () =
+  let outcome = Lazy.force fixture_outcome in
+  let hit =
+    List.exists
+      (fun (d : D.t) ->
+        d.rule = A.Rules.rule_poly
+        && String.length d.message > 0
+        &&
+        let prefix = "test/fixtures/astlint/a1_comment_mask.ml:" in
+        String.length d.message >= String.length prefix
+        && String.sub d.message 0 (String.length prefix) = prefix)
+      outcome.A.report.D.diags
+  in
+  if not hit then
+    Alcotest.fail "comment-masked polymorphic compare not caught"
+
+(* ---- the production tree is clean --------------------------------- *)
+
+let test_tree_clean () =
+  (* Under `dune runtest` the declared dep puts the allowlist in the
+     build tree; under a bare `dune exec` from a checkout only the
+     source copy exists. *)
+  let allowlist_file =
+    let candidates =
+      [
+        Filename.concat root "tools/astlint/allowlist.txt";
+        "tools/astlint/allowlist.txt";
+        "../tools/astlint/allowlist.txt";
+        "../../tools/astlint/allowlist.txt";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some f -> f
+    | None -> Alcotest.fail "tools/astlint/allowlist.txt not found"
+  in
+  let outcome =
+    A.analyze ~allowlist_file ~root ~dirs:A.default_dirs ()
+  in
+  if outcome.A.units = [] then Alcotest.fail "no production units scanned";
+  match D.errors outcome.A.report with
+  | [] -> ()
+  | d :: _ ->
+      Alcotest.failf "tree not clean (%d findings); first: %s"
+        (List.length (D.errors outcome.A.report))
+        (D.to_string d)
+
+(* ---- symbol canonicalization -------------------------------------- *)
+
+let test_canon () =
+  let eq = Alcotest.(check string) in
+  eq "lib mangling" "Routing.Engine.compute"
+    (A.Syms.canon_string "Routing__Engine.compute");
+  eq "exe mangling" "Sbgp" (A.Syms.canon_string "Dune__exe__Sbgp");
+  eq "operator parens" "Stdlib.=" (A.Syms.canon_string "Stdlib.( = )");
+  Alcotest.(check bool)
+    "spec covers below" true
+    (A.Syms.spec_matches ~spec:"Routing.Reference"
+       "Routing.Reference.compute");
+  Alcotest.(check bool)
+    "spec star" true
+    (A.Syms.spec_matches ~spec:"Metric.H_metric.*" "Metric.H_metric.eval");
+  Alcotest.(check bool)
+    "no substring match" false
+    (A.Syms.spec_matches ~spec:"Routing.Reach" "Routing.Reachable");
+  Alcotest.(check bool)
+    "dir scope" true
+    (A.Syms.in_scope ~scopes:[ "lib/routing" ] "lib/routing/engine.ml");
+  Alcotest.(check bool)
+    "file scope exact" true
+    (A.Syms.in_scope
+       ~scopes:[ "lib/prelude/shard_cache.ml" ]
+       "lib/prelude/shard_cache.ml");
+  Alcotest.(check bool)
+    "no dir prefix confusion" false
+    (A.Syms.in_scope ~scopes:[ "lib/rout" ] "lib/routing/engine.ml")
+
+(* ---- allowlist parser --------------------------------------------- *)
+
+let test_allowlist () =
+  (match
+     A.Allowlist.parse_string
+       "# comment\n\nast/float-compare  M.f  -- stored literal\n"
+   with
+  | Ok t ->
+      Alcotest.(check bool)
+        "permits the symbol" true
+        (A.Allowlist.permits t ~rule:"ast/float-compare" "M.f");
+      Alcotest.(check bool)
+        "covers below" true
+        (A.Allowlist.permits t ~rule:"ast/float-compare" "M.f.inner");
+      Alcotest.(check bool)
+        "other rule untouched" false
+        (A.Allowlist.permits t ~rule:"ast/poly-compare" "M.f")
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match A.Allowlist.parse_string "ast/float-compare M.f\n" with
+  | Ok _ -> Alcotest.fail "reasonless entry accepted"
+  | Error _ -> ());
+  match A.Allowlist.parse_string "just-one-token\n" with
+  | Ok _ -> Alcotest.fail "malformed entry accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "astlint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "corpus matches golden diagnostics" `Quick
+            test_golden;
+          Alcotest.test_case "false-negative guard holds" `Quick test_guard;
+          Alcotest.test_case "every rule has mutant coverage" `Quick
+            test_all_rules_covered;
+          Alcotest.test_case "comment-masked compare caught (grep regression)"
+            `Quick test_comment_mask_regression;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "production tree clean under allowlist" `Quick
+            test_tree_clean;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "symbol canonicalization" `Quick test_canon;
+          Alcotest.test_case "allowlist parser" `Quick test_allowlist;
+        ] );
+    ]

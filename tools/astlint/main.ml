@@ -1,0 +1,104 @@
+(* sbgp-astlint: typed-AST lint over dune's .cmt artifacts.
+
+   Production mode scans lib/ and bin/ with the A1-A5 rule catalogue
+   (Analysis.Rules) and exits non-zero on any finding that is not in
+   the checked-in allowlist.  --fixtures inverts the polarity: it scans
+   the deliberately-bad corpus under test/fixtures/astlint and exits
+   non-zero when an expected finding does NOT fire — the false-negative
+   guard that keeps the rules honest.  Both run from `dune build @lint`
+   (see the root dune file), after @check has produced the .cmt
+   artifacts this tool reads. *)
+
+module D = Check.Diagnostic
+
+let allowlist_candidates =
+  [
+    "tools/astlint/allowlist.txt";
+    "../tools/astlint/allowlist.txt";
+    "../../tools/astlint/allowlist.txt";
+    "../../../tools/astlint/allowlist.txt";
+  ]
+
+let () =
+  let root = ref None in
+  let allowlist = ref None in
+  let fixtures = ref false in
+  let quiet = ref false in
+  let spec =
+    [
+      ( "--root",
+        Arg.String (fun s -> root := Some s),
+        "DIR build root holding the .cmt artifacts (default: auto-detect)"
+      );
+      ( "--allowlist",
+        Arg.String (fun s -> allowlist := Some s),
+        "FILE exemption file (default: tools/astlint/allowlist.txt when \
+         present)" );
+      ( "--fixtures",
+        Arg.Set fixtures,
+        " false-negative guard over test/fixtures/astlint" );
+      ("--quiet", Arg.Set quiet, " only print on failure");
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "sbgp-astlint [options]: typed-AST lint over .cmt artifacts";
+  let root =
+    match !root with
+    | Some r -> r
+    | None -> (
+        match Analysis.Cmt_loader.locate_build_root () with
+        | Some r -> r
+        | None ->
+            prerr_endline
+              "astlint: no build root with .cmt artifacts found; run `dune \
+               build @check` first (or set SBGP_CMT_ROOT)";
+            exit 2)
+  in
+  let allowlist_file =
+    match !allowlist with
+    | Some f -> Some f
+    | None -> List.find_opt Sys.file_exists allowlist_candidates
+  in
+  if !fixtures then begin
+    let outcome =
+      Analysis.analyze ~config:Analysis.fixture_config
+        ~root
+        ~dirs:[ Analysis.fixture_dir ]
+        ()
+    in
+    if outcome.Analysis.units = [] then begin
+      Printf.eprintf
+        "astlint --fixtures: no fixture units under %s/%s; build \
+         @fixtures first\n"
+        root Analysis.fixture_dir;
+      exit 2
+    end;
+    match Analysis.fixture_failures outcome with
+    | [] ->
+        if not !quiet then
+          Printf.printf
+            "astlint fixtures: %d findings over %d units, every seeded \
+             defect caught\n"
+            (List.length outcome.Analysis.report.D.diags)
+            (List.length outcome.Analysis.units)
+    | failures ->
+        List.iter (fun f -> Printf.eprintf "astlint fixtures: %s\n" f)
+          failures;
+        exit 1
+  end
+  else begin
+    let outcome =
+      Analysis.analyze ?allowlist_file ~root ~dirs:Analysis.default_dirs ()
+    in
+    let report = outcome.Analysis.report in
+    if D.ok report then begin
+      if not !quiet then
+        Printf.printf "astlint: clean (%d units)\n"
+          (List.length outcome.Analysis.units)
+    end
+    else begin
+      print_string (D.summary report);
+      exit 1
+    end
+  end

@@ -1,12 +1,15 @@
 #!/bin/sh
-# CI entry point: source lint, build, tests, opam metadata lint, and a
-# fast `sbgp check` smoke (all three checker passes + the mutant
+# CI entry point: typed-AST lint, build, tests, opam metadata lint, and
+# a fast `sbgp check` smoke (all three checker passes + the mutant
 # self-test on a small generated topology).  Any failing step aborts.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== dune build @lint"
+# Typed-AST lint (tools/astlint over the .cmt artifacts): the tree must
+# be clean modulo tools/astlint/allowlist.txt, and the seeded fixture
+# corpus must still trip every ast/* rule (false-negative guard).
 dune build @lint
 
 echo "== dune build"
@@ -21,6 +24,11 @@ if command -v opam >/dev/null 2>&1; then
 else
   echo "opam not found; skipping metadata lint"
 fi
+
+echo "== sbgp check --static (smoke)"
+# Same analyzer as @lint, through the CLI entry point: proves the
+# installed binary can locate the .cmt artifacts and the allowlist.
+dune exec bin/sbgp.exe -- check --static
 
 echo "== sbgp check (smoke)"
 dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants \

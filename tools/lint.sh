@@ -1,76 +1,13 @@
 #!/bin/sh
-# Source lint for the simulation hot paths.  Run via `dune build @lint`
-# (or directly from the repository root); exits non-zero on any finding.
+# Thin wrapper kept for muscle memory and older CI scripts.
 #
-# Rules:
-#   1. No polymorphic comparison (bare `compare`, `Stdlib.compare`,
-#      `Stdlib.(=)`, `Stdlib.(<>)`) in lib/routing, lib/metric,
-#      lib/parallel, or the shared result cache (lib/prelude/
-#      shard_cache.ml).  These run in the per-pair inner loops; polymorphic
-#      compare boxes its arguments, defeats branch prediction, and
-#      silently does the wrong thing on records with irrelevant fields.
-#      Use Int.compare / String.compare / Policy.compare_routes or a
-#      hand-written comparator.  This includes the operator form: a bare
-#      structural `=`/`<`/`>=`/... applied to a tuple literal (e.g.
-#      `(a, b) >= (c, d)`) allocates both tuples and dispatches through
-#      the polymorphic runtime on every evaluation; spell out the
-#      lexicographic int tests instead.
-#   2. No `Obj.magic` and no `Printexc.print_backtrace` outside test/.
-#      The first is never justified in this codebase; the second is a
-#      debugging escape that belongs in a test harness, not in library
-#      or binary code.
-
-set -u
-
-status=0
-
-# --- rule 1: polymorphic comparison in hot paths --------------------
-# Matches `compare` used as a standalone identifier (call position or
-# passed to a sort); `X.compare` and names like `compare_routes` do not
-# match.
-hot_paths="lib/routing lib/metric lib/parallel"
-hot_files=$(find $hot_paths -name '*.ml' 2>/dev/null)
-# The shared result cache backs every Metric.Cache lookup on the rollout
-# fast path; hold it to the same standard as the directories above.
-hot_files="$hot_files lib/prelude/shard_cache.ml"
-if [ -n "$hot_files" ]; then
-  # Comment filter is line-local: a mention of `compare` after `(*` on
-  # the same line is ignored; multi-line comment bodies are not special-
-  # cased (keep prose mentions of compare on the `(*` line).
-  hits=$(grep -nE '(^|[^.A-Za-z_0-9])(compare[^A-Za-z_0-9]|Stdlib\.compare|Stdlib\.\( *(=|<>) *\))' \
-    $hot_files | grep -vE '^\S+:[0-9]+: *\(?\*|\(\*.*compare' || true)
-  if [ -n "$hits" ]; then
-    echo "lint: polymorphic comparison in hot-path code (use a monomorphic comparator):"
-    echo "$hits"
-    status=1
-  fi
-
-  # Structural comparison of tuple literals.  A relational operator next
-  # to a parenthesized comma group is a comparison (bindings and match
-  # arms use bare `=` / `->`, which this does not match); bare `=` is
-  # only flagged with a tuple literal on BOTH sides, so `let f x = (a, b)`
-  # stays legal.  The `[^-=<>]>` alternative keeps `->` out of the net.
-  tup='\([^()]*,[^()]*\)'
-  tup_hits=$(grep -nE \
-    "$tup *(>=|<=|<>|<|>)|(>=|<=|<>|<|[^-=<>]>) *$tup|$tup *= *$tup" \
-    $hot_files | grep -vE '^\S+:[0-9]+: *\(?\*|\(\*' || true)
-  if [ -n "$tup_hits" ]; then
-    echo "lint: structural comparison of tuple literals in hot-path code (spell out the int tests):"
-    echo "$tup_hits"
-    status=1
-  fi
-fi
-
-# --- rule 2: debugging escapes outside test/ ------------------------
-esc=$(find lib bin -name '*.ml' 2>/dev/null \
-  | xargs grep -nE 'Obj\.magic|Printexc\.print_backtrace' 2>/dev/null || true)
-if [ -n "$esc" ]; then
-  echo "lint: Obj.magic / Printexc.print_backtrace outside test/:"
-  echo "$esc"
-  status=1
-fi
-
-if [ "$status" -eq 0 ]; then
-  echo "lint: clean"
-fi
-exit "$status"
+# The source lint is the typed-AST analyzer now: tools/astlint reads
+# the .cmt artifacts dune produces and applies the ast/* rule
+# catalogue (polymorphic/float comparison in hot paths, determinism
+# taint, unsafe array access, exception swallowing) with the
+# exemptions in tools/astlint/allowlist.txt.  The grep rules that used
+# to live here migrated to typed rules A1/A3/A5 — including a fixture
+# (test/fixtures/astlint/a1_comment_mask.ml) for the false negative
+# the old line-local comment filter could not avoid.  See DESIGN.md
+# §11 and `sbgp check --static`.
+exec dune build @lint
