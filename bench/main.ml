@@ -31,11 +31,21 @@
    same (destination, attacker) pairs — an identity gate first, then
    pairs/second and minor-heap words per pair for both sides.
 
+   Part 6 is the destination-major batched kernel benchmark: whole
+   attacker words (up to 63 lanes) per destination solve through
+   Routing.Batch, against the scalar packed engine sweeping the same
+   lanes one pair at a time — an analyze_batch identity gate first
+   (timed separately as gate_s, outside the measured window), then
+   pairs/second and minor-heap words per pair for both sides.
+
    Environment knobs (additional): SBGP_BENCH_ONLY — comma-separated
    subset of the parts "experiments", "micro", "h_metric", "rollout",
-   "kernel" to run (default: all); SBGP_BENCH_KERNEL_PAIRS (pair count
-   for the kernel part, default 48) and SBGP_BENCH_KERNEL_REPS
-   (alternating measurement rounds per side, default 3).
+   "kernel", "batch" to run (default: all); SBGP_BENCH_KERNEL_PAIRS
+   (pair count for the kernel part, default 48) and
+   SBGP_BENCH_KERNEL_REPS (alternating measurement rounds per side,
+   default 3); SBGP_BENCH_BATCH_DSTS (destination solves for the batch
+   part, default 6) and SBGP_BENCH_BATCH_REPS (rounds per side,
+   default 3).
 
    With --json on the command line (or SBGP_BENCH_JSON=1), all timings
    are additionally written to BENCH_<label>.json, where <label> comes
@@ -666,12 +676,17 @@ let run_kernel_bench () =
     List.map Core.Policy.make Core.Policy.all_models
     @ [ Core.Policy.make ~lp:(Core.Policy.Lp_k 2) Core.Policy.Security_third ]
   in
+  (* The gate is timed on its own: its reference solves used to land
+     inside the part's wall clock, muddying cross-commit comparisons of
+     the measured throughput — gate_s keeps them apart. *)
+  let gate_t0 = Unix.gettimeofday () in
   (match Core.Check.Kernel.analyze g policies dep pairs with
   | _, [] -> ()
   | _, d :: _ ->
       failwith
         ("kernel bench: identity gate failed: "
         ^ Core.Check.Diagnostic.to_string d));
+  let gate_s = Unix.gettimeofday () -. gate_t0 in
   let tiebreaks = [ Core.Engine.Bounds; Core.Engine.Lowest_next_hop ] in
   let runs_per_round = Array.length pairs * List.length policies * 2 in
   let round f =
@@ -724,10 +739,11 @@ let run_kernel_bench () =
     \     packed+ws   %10.1f pairs/s  %10.0f minor words/pair\n\
     \     packed      %10.1f pairs/s  %10.0f minor words/pair\n\
     \     reference   %10.1f pairs/s  %10.0f minor words/pair\n\
-    \     speedup (packed+ws vs reference): x%.2f\n\n\
+    \     speedup (packed+ws vs reference): x%.2f; identity gate %.3fs \
+     (untimed)\n\n\
      %!"
     n k (List.length policies) reps eng_rate eng_words fresh_rate fresh_words
-    ref_rate ref_words speedup;
+    ref_rate ref_words speedup gate_s;
   [
     ("pairs", float_of_int (Array.length pairs));
     ("runs", float_of_int (runs_per_round * reps));
@@ -738,6 +754,140 @@ let run_kernel_bench () =
     ("engine_fresh_minor_words_per_pair", fresh_words);
     ("reference_minor_words_per_pair", ref_words);
     ("speedup", speedup);
+    ("gate_s", gate_s);
+    ("identity_gate", 1.);
+  ]
+
+(* Destination-major batched kernel benchmark: whole attacker words (up
+   to 63 lanes) per solve through Routing.Batch, against the scalar
+   packed engine sweeping the same lanes pair by pair — the
+   corrected-harness re-measurement of the BENCH_pr4 baseline row.  The
+   analyze_batch identity gate runs first and is timed on its own
+   (gate_s), outside the measured window; rounds alternate sides so
+   drift hits both equally. *)
+let run_batch_bench () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let dsts_k = max 1 (env_int "SBGP_BENCH_BATCH_DSTS" 6) in
+  let reps = max 1 (env_int "SBGP_BENCH_BATCH_REPS" 3) in
+  let result =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n)
+      (Core.Rng.create seed)
+  in
+  let g = result.Core.Topogen.graph in
+  let nn = Core.Graph.n g in
+  let tiers = Core.Topogen.tiers result in
+  let dep = Core.Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+  let pool = Core.Tiers.non_stubs tiers in
+  let rng = Core.Rng.create (seed + 13) in
+  (* One full attacker word per destination: distinct non-stub
+     attackers, the destination itself excluded. *)
+  let batches =
+    Array.init dsts_k (fun _ ->
+        let dst = Core.Rng.int rng nn in
+        let idxs =
+          Core.Rng.sample_without_replacement rng
+            (min (Core.Batch.max_lanes + 1) (Array.length pool))
+            (Array.length pool)
+        in
+        let ms =
+          Array.to_list idxs
+          |> List.filter_map (fun i ->
+                 if pool.(i) = dst then None else Some pool.(i))
+          |> Array.of_list
+        in
+        (dst, Array.sub ms 0 (min Core.Batch.max_lanes (Array.length ms))))
+  in
+  let lanes_total =
+    Array.fold_left (fun a (_, ms) -> a + Array.length ms) 0 batches
+  in
+  let policies =
+    List.map Core.Policy.make Core.Policy.all_models
+    @ [ Core.Policy.make ~lp:(Core.Policy.Lp_k 2) Core.Policy.Security_third ]
+  in
+  let gate_t0 = Unix.gettimeofday () in
+  (match Core.Check.Kernel.analyze_batch g policies dep batches with
+  | _, [] -> ()
+  | _, d :: _ ->
+      failwith
+        ("batch bench: identity gate failed: "
+        ^ Core.Check.Diagnostic.to_string d));
+  let gate_s = Unix.gettimeofday () -. gate_t0 in
+  let tiebreaks = [ Core.Engine.Bounds; Core.Engine.Lowest_next_hop ] in
+  let pairs_per_round = lanes_total * List.length policies * 2 in
+  let solves_per_round = Array.length batches * List.length policies * 2 in
+  let round f =
+    let m0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun policy ->
+        Array.iter
+          (fun (dst, attackers) ->
+            List.iter
+              (fun tiebreak -> f ~tiebreak policy ~dst ~attackers)
+              tiebreaks)
+          batches)
+      policies;
+    (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
+  in
+  let bws = Core.Batch.Workspace.create nn in
+  let ews = Core.Engine.Workspace.create nn in
+  let batched ~tiebreak policy ~dst ~attackers =
+    ignore (Core.Batch.compute ~tiebreak ~ws:bws g policy dep ~dst ~attackers)
+  in
+  let scalar ~tiebreak policy ~dst ~attackers =
+    Array.iter
+      (fun m ->
+        ignore
+          (Core.Engine.compute ~tiebreak ~ws:ews g policy dep ~dst
+             ~attacker:(Some m)))
+      attackers
+  in
+  ignore (round batched);
+  ignore (round scalar);
+  let sides = [| (batched, ref []); (scalar, ref []) |] in
+  for _ = 1 to reps do
+    Array.iter (fun (f, acc) -> acc := round f :: !acc) sides
+  done;
+  let total acc f = List.fold_left (fun s x -> s +. f x) 0. !acc in
+  let stats (_, acc) =
+    let s = total acc fst in
+    let words = total acc snd in
+    let runs = float_of_int (pairs_per_round * reps) in
+    (runs /. s, words /. runs, s)
+  in
+  let batch_rate, batch_words, batch_s = stats sides.(0) in
+  let eng_rate, eng_words, _ = stats sides.(1) in
+  let speedup = batch_rate /. eng_rate in
+  let lanes_avg =
+    float_of_int lanes_total /. float_of_int (Array.length batches)
+  in
+  Printf.printf
+    "#### Batch kernel (n=%d, %d dsts x %.1f lanes x %d policies x 2 \
+     tiebreaks x %d reps) ####\n\
+    \     batch       %10.1f pairs/s  %10.0f minor words/pair  (%.1f \
+     solves/s)\n\
+    \     engine+ws   %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     speedup (batch vs engine+ws): x%.2f; identity gate %.3fs \
+     (untimed)\n\n\
+     %!"
+    n (Array.length batches) lanes_avg (List.length policies) reps batch_rate
+    batch_words
+    (float_of_int (solves_per_round * reps) /. batch_s)
+    eng_rate eng_words speedup gate_s;
+  [
+    ("dsts", float_of_int (Array.length batches));
+    ("attackers_per_solve", lanes_avg);
+    ("pairs", float_of_int pairs_per_round);
+    ("runs", float_of_int (pairs_per_round * reps));
+    ("batch_pairs_per_s", batch_rate);
+    ("batch_minor_words_per_pair", batch_words);
+    ("batch_solves_per_s", float_of_int (solves_per_round * reps) /. batch_s);
+    ("engine_pairs_per_s", eng_rate);
+    ("engine_minor_words_per_pair", eng_words);
+    ("speedup", speedup);
+    ("gate_s", gate_s);
     ("identity_gate", 1.);
   ]
 
@@ -806,6 +956,7 @@ let () =
   if part "h_metric" then add "h_metric" (run_h_metric_comparison ());
   if part "rollout" then add "rollout" (run_rollout_bench ());
   if part "kernel" then add "kernel" (run_kernel_bench ());
+  if part "batch" then add "batch" (run_batch_bench ());
   let total_s = Unix.gettimeofday () -. t0 in
   if json then begin
     let label =

@@ -156,10 +156,24 @@ let exp_cmd =
              check`) before running anything, and abort on errors.  Also \
              enabled by SBGP_CHECK=1 in the environment.")
   in
-  let run n seed ixp scale domains graph_file out_dir check which =
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "batch" ] ~docv:"BOOL"
+          ~doc:
+            "Force the destination-major batched routing kernel on or off \
+             for metric evaluation (default: on).  Equivalent to setting \
+             the SBGP_BATCH environment variable; results are bit-identical \
+             either way.")
+  in
+  let run n seed ixp scale domains graph_file out_dir check batch which =
     (match out_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
+    (match batch with
+    | Some b -> Unix.putenv "SBGP_BATCH" (if b then "1" else "0")
+    | None -> ());
     let ctx = context n seed ixp scale domains graph_file in
     Printf.printf "context: %s\n\n%!" (Core.Experiments.Context.describe ctx);
     if check || Core.Check.enabled () then begin
@@ -192,7 +206,7 @@ let exp_cmd =
        ~doc:"Run one or more experiments (all of them by default).")
     Term.(
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
-      $ graph_arg $ out_dir $ check_flag $ which)
+      $ graph_arg $ out_dir $ check_flag $ batch_arg $ which)
 
 let check_cmd =
   let pairs_arg =
@@ -252,6 +266,17 @@ let check_cmd =
              rollout chain must be bit-identical to from-scratch \
              computation at every step (uses the context's worker pool).")
   in
+  let kernel_arg =
+    Arg.(
+      value & flag
+      & info [ "kernel" ]
+          ~doc:
+            "Run only the kernel pass: the packed CSR engine and the \
+             destination-major batched kernel are replayed against the \
+             reference kernel and must be bit-identical (the batched \
+             sub-pass decodes every lane of sampled attacker words and \
+             pinpoints the first divergent destination/word/bit).")
+  in
   let static_arg =
     Arg.(
       value & flag
@@ -289,7 +314,7 @@ let check_cmd =
           exit 1
   in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules inc_pairs incremental static =
+      rules inc_pairs incremental kernel static =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
@@ -326,6 +351,8 @@ let check_cmd =
           Core.Check.run_incremental ~options
             ~pool:(Core.Experiments.Context.pool ctx)
             ctx.Core.Experiments.Context.graph
+        else if kernel then
+          Core.Check.run_kernel ~options ctx.Core.Experiments.Context.graph
         else
           Core.Check.run ~options
             ~tiers:ctx.Core.Experiments.Context.tiers ?base
@@ -348,7 +375,8 @@ let check_cmd =
     Term.(
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
-      $ rules_arg $ inc_pairs_arg $ incremental_arg $ static_arg)
+      $ rules_arg $ inc_pairs_arg $ incremental_arg $ kernel_arg
+      $ static_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

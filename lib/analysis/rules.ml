@@ -50,7 +50,7 @@ let default ?(allow = Allowlist.empty) () =
     swallow_scopes = [ "lib"; "bin" ];
     unsafe_scopes = [ "lib"; "bin" ];
     kernel_modules =
-      [ "Routing.Engine"; "Routing.Reach"; "Routing.Staged";
+      [ "Routing.Engine"; "Routing.Batch"; "Routing.Reach"; "Routing.Staged";
         "Topology.Graph.Csr" ];
     taint_roots =
       [ "Routing.Engine.compute"; "Routing.Reference.*";

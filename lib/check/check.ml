@@ -132,12 +132,43 @@ let theorem_pass options g =
     done;
   (!items, !diags)
 
+(* (dst, attacker-set) configurations spanning the lane-count spectrum:
+   a single lane, a partial word and a full word (capped by the graph),
+   duplicates allowed — the batched kernel must decode lanes sharing an
+   attacker independently. *)
+let sample_batches rng n =
+  if n < 2 then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun lanes ->
+           let lanes = min lanes (n - 1) in
+           let dst = Rng.int rng n in
+           let attackers =
+             Array.init lanes (fun _ ->
+                 let m = Rng.int rng (n - 1) in
+                 if m >= dst then m + 1 else m)
+           in
+           (dst, attackers))
+         [ 1; 7; 63 ])
+
 let kernel_pass options g =
   let n = G.n g in
   let rng = Rng.create (options.seed + 4) in
   let pairs = sample_pairs rng n (max 1 (options.pairs / 2)) in
-  Kernel.analyze ~attacker_claim:options.attacker_claim g options.policies
-    (dep_mixed n) pairs
+  let items, diags =
+    Kernel.analyze ~attacker_claim:options.attacker_claim g options.policies
+      (dep_mixed n) pairs
+  in
+  let bitems, bdiags =
+    Kernel.analyze_batch ~attacker_claim:options.attacker_claim g
+      options.policies (dep_mixed n) (sample_batches rng n)
+  in
+  (items + bitems, diags @ bdiags)
+
+let run_kernel ?(options = default_options) g =
+  let items, diags = kernel_pass options g in
+  D.add_pass D.empty_report "kernel" ~items diags
 
 let determinism_pass options g =
   let n = G.n g in

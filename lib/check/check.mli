@@ -71,3 +71,9 @@ val run_incremental :
 (** Only the incremental pass ([sbgp check --incremental]), optionally
     fanning the evaluator's recomputations over [pool] so the sharded
     cache is exercised under parallelism too. *)
+
+val run_kernel : ?options:options -> Topology.Graph.t -> Diagnostic.report
+(** Only the kernel pass ([sbgp check --kernel]): the scalar
+    differential gate plus the batched-divergence sub-pass, which
+    decodes every lane of sampled (destination, attacker-word) batches
+    against the reference kernel. *)

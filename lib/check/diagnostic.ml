@@ -106,6 +106,9 @@ let catalogue =
     ( "kernel/divergence",
       "the packed CSR engine disagrees with the reference kernel or the \
        staged specification on some outcome field" );
+    ( "kernel/batch-divergence",
+      "a decoded lane of the destination-major batched kernel disagrees \
+       with the reference kernel on some outcome field" );
     ( "det/divergence",
       "a (domains, workspace) configuration diverged from the sequential \
        fresh-buffer baseline" );

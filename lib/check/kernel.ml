@@ -13,18 +13,19 @@ let class_code out v =
     | P.Peer -> 1
     | P.Provider -> 2
 
-(* First field-level disagreement, or None when the outcomes agree.
-   [parents] is off when comparing against the staged specification,
-   whose representative next hop is not part of its contract. *)
-let mismatch ?(parents = true) ~want ~got () =
+(* First field-level disagreement as [(as_id, detail)], or None when the
+   outcomes agree ([as_id] is -1 for a size mismatch).  [parents] is off
+   when comparing against the staged specification, whose representative
+   next hop is not part of its contract. *)
+let mismatch_at ?(parents = true) ~want ~got () =
   let n = O.n want in
   if O.n got <> n then
-    Some (Printf.sprintf "outcome sizes differ (%d vs %d)" n (O.n got))
+    Some (-1, Printf.sprintf "outcome sizes differ (%d vs %d)" n (O.n got))
   else begin
     let res = ref None in
     let cell v name a b =
       if !res = None && a <> b then
-        res := Some (Printf.sprintf "AS %d: %s %d/%d" v name a b)
+        res := Some (v, Printf.sprintf "AS %d: %s %d/%d" v name a b)
     in
     let v = ref 0 in
     while !res = None && !v < n do
@@ -45,6 +46,9 @@ let mismatch ?(parents = true) ~want ~got () =
     done;
     !res
   end
+
+let mismatch ?parents ~want ~got () =
+  Option.map snd (mismatch_at ?parents ~want ~got ())
 
 let tb_name = function E.Bounds -> "bounds" | E.Lowest_next_hop -> "lnh"
 
@@ -109,5 +113,87 @@ let analyze ?(attacker_claim = 1) g policies dep pairs =
               | _ -> ())
             [ E.Bounds; E.Lowest_next_hop ])
         pairs)
+    policies;
+  (!items, !diags)
+
+module B = Routing.Batch
+
+(* The scalar side of a divergence report, in the packed word's
+   vocabulary so both lanes read alike. *)
+let describe_scalar out v =
+  if not (O.reached out v) then "unreached"
+  else
+    Printf.sprintf "cls=%d len=%d secure=%b to_d=%b to_m=%b next-hop=%d"
+      (class_code out v) (O.length out v) (O.secure out v) (O.to_d out v)
+      (O.to_m out v) (O.next_hop out v)
+
+let describe_group b ~v ~lane =
+  match B.group_of b ~v ~lane with
+  | None -> "no group (lane unreached)"
+  | Some (mask, word, parent) ->
+      Printf.sprintf "group mask=%#x parent=%d %s" mask parent
+        (E.Packed.describe word)
+
+(* Batched-divergence sub-pass: every lane of every batched solve is
+   decoded and compared field-by-field against a scalar Reference solve
+   of the same (attacker, destination) pair.  A divergence pinpoints the
+   first disagreeing AS by (destination, attacker-word, bit) and decodes
+   both packed lanes — the batch side straight from its lane group, the
+   scalar side from the reference outcome.
+
+   [tamper ~lane got] mutates the decoded outcome before comparison;
+   the false-negative mutants use it to emulate batch-kernel bugs
+   (dropped tie flags, stale lanes) and prove this pass catches them. *)
+let analyze_batch ?(attacker_claim = 1) ?tamper g policies dep batches =
+  let bws = B.Workspace.create 0 in
+  let rws = R.Workspace.create 0 in
+  let items = ref 0 in
+  let diags = ref [] in
+  List.iter
+    (fun policy ->
+      Array.iteri
+        (fun word_idx (dst, attackers) ->
+          List.iter
+            (fun tiebreak ->
+              let b =
+                B.compute ~tiebreak ~attacker_claim ~ws:bws g policy dep ~dst
+                  ~attackers
+              in
+              Array.iteri
+                (fun lane m ->
+                  incr items;
+                  let got = B.decode b ~lane in
+                  (match tamper with Some f -> f ~lane got | None -> ());
+                  let want =
+                    R.compute ~tiebreak ~attacker_claim ~ws:rws g policy dep
+                      ~dst ~attacker:(Some m)
+                  in
+                  match mismatch_at ~want ~got () with
+                  | None -> ()
+                  | Some (v, detail) ->
+                      let lanes_detail =
+                        if v < 0 then ""
+                        else
+                          Printf.sprintf "; batch lane: %s; scalar: %s"
+                            (describe_group b ~v ~lane)
+                            (describe_scalar want v)
+                      in
+                      diags :=
+                        !diags
+                        @ [
+                            D.error ~rule:"kernel/batch-divergence"
+                              ~subjects:[ dst; m ]
+                              (Printf.sprintf
+                                 "batched kernel diverges from the reference \
+                                  kernel [%s, %s tiebreak, claim %d] at dst \
+                                  %d, attacker word %d, bit %d (attacker \
+                                  %d): %s%s"
+                                 (P.name policy) (tb_name tiebreak)
+                                 attacker_claim dst word_idx lane m detail
+                                 lanes_detail);
+                          ])
+                attackers)
+            [ E.Bounds; E.Lowest_next_hop ])
+        batches)
     policies;
   (!items, !diags)

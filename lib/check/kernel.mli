@@ -25,3 +25,22 @@ val analyze :
   int * Diagnostic.t list
 (** [analyze g policies dep pairs] returns [(items, diagnostics)] where
     [items] counts the engine runs that were compared. *)
+
+val analyze_batch :
+  ?attacker_claim:int ->
+  ?tamper:(lane:int -> Routing.Outcome.t -> unit) ->
+  Topology.Graph.t ->
+  Routing.Policy.t list ->
+  Deployment.t ->
+  (int * int array) array ->
+  int * Diagnostic.t list
+(** [analyze_batch g policies dep batches] decodes every lane of every
+    batched solve ({!Routing.Batch}) of the [(dst, attackers)] batches
+    and compares it field-by-field against a scalar
+    {!Routing.Reference.compute} of the same pair, under every policy
+    and both tiebreaks.  A disagreement is a ["kernel/batch-divergence"]
+    error pinpointing the first divergent (destination, attacker-word,
+    bit) and decoding both packed lanes.  [items] counts compared lanes.
+
+    [tamper ~lane outcome] mutates a decoded lane before comparison —
+    the false-negative mutants inject batch-kernel bugs through it. *)

@@ -180,6 +180,92 @@ let sec3_nonmonotone () =
   in
   Verify.sec3_monotone ~sub ~super
 
+(* ---- batched-kernel mutants -------------------------------------- *)
+
+(* Re-fix every fixed AS of [src] into [into] (same size).  The stale-lane
+   mutant uses it to smear one lane's decode across the word. *)
+let copy_fixed ~src ~into =
+  for v = 0 to O.n src - 1 do
+    if O.reached src v then
+      if v = O.dst src || Some v = O.attacker src then
+        O.fix_root into v ~len:(O.length src v) ~secure:(O.secure src v)
+          ~to_d:(O.to_d src v) ~to_m:(O.to_m src v)
+          ~parent:(O.next_hop src v)
+      else
+        O.fix into v ~cls:(O.route_class src v) ~len:(O.length src v)
+          ~secure:(O.secure src v) ~to_d:(O.to_d src v) ~to_m:(O.to_m src v)
+          ~parent:(O.next_hop src v)
+  done
+
+let batch_tie_drop () =
+  (* AS 3's equally-best provider routes (via 1 to d, via the attacker 2)
+     tie in Bounds mode, so to-d and to-m are both set; the tamper drops
+     the to-d flag — emulating a batch relax that loses a lane's flag bit
+     on an equal-rank merge. *)
+  let g =
+    G.of_edges ~n:4
+      [
+        G.Customer_provider (1, 0);
+        G.Customer_provider (3, 1);
+        G.Customer_provider (3, 2);
+      ]
+  in
+  let tamper ~lane:_ got =
+    for v = 0 to O.n got - 1 do
+      if
+        O.reached got v
+        && v <> O.dst got
+        && Some v <> O.attacker got
+        && O.to_d got v && O.to_m got v
+      then
+        O.fix got v ~cls:(O.route_class got v) ~len:(O.length got v)
+          ~secure:(O.secure got v) ~to_d:false ~to_m:true
+          ~parent:(O.next_hop got v)
+    done
+  in
+  let _, diags =
+    Kernel.analyze_batch ~tamper g [ sec3 ] (Deployment.empty 4)
+      [| (0, [| 2 |]) |]
+  in
+  diags
+
+let batch_stale_lane () =
+  (* Every lane beyond the first decodes to lane 0's routing tree —
+     emulating a batch kernel whose group masks smear one lane across
+     the whole word.  The two lanes attack from opposite ends of a
+     provider chain, so the stale copy must diverge. *)
+  let g =
+    G.of_edges ~n:5
+      [
+        G.Customer_provider (1, 0);
+        G.Customer_provider (2, 1);
+        G.Customer_provider (3, 2);
+        G.Customer_provider (4, 3);
+      ]
+  in
+  let stale = ref None in
+  let tamper ~lane got =
+    if lane = 0 then begin
+      let dup =
+        O.create ~n:(O.n got) ~dst:(O.dst got) ~attacker:(O.attacker got)
+      in
+      copy_fixed ~src:got ~into:dup;
+      stale := Some dup
+    end
+    else
+      match !stale with
+      | None -> ()
+      | Some s ->
+          ignore
+            (O.reset got ~n:(O.n got) ~dst:(O.dst s) ~attacker:(O.attacker s));
+          copy_fixed ~src:s ~into:got
+  in
+  let _, diags =
+    Kernel.analyze_batch ~tamper g [ sec3 ] (Deployment.empty 5)
+      [| (0, [| 4; 2 |]) |]
+  in
+  diags
+
 (* ---- determinism mutant ------------------------------------------ *)
 
 let stale_workspace () =
@@ -304,6 +390,18 @@ let all =
       expected_rule = "thm/sec3-monotone";
       description = "security-1st outcomes violate the Theorem 6.1 check";
       run = sec3_nonmonotone;
+    };
+    {
+      name = "batch-tie-drop";
+      expected_rule = "kernel/batch-divergence";
+      description = "a batch lane loses the to-d flag on an equal-rank merge";
+      run = batch_tie_drop;
+    };
+    {
+      name = "batch-stale-lane";
+      expected_rule = "kernel/batch-divergence";
+      description = "every later lane decodes to lane 0's routing tree";
+      run = batch_stale_lane;
     };
     {
       name = "det-stale-workspace";

@@ -22,6 +22,7 @@ module Topogen = Topogen
 module Policy = Routing.Policy
 module Outcome = Routing.Outcome
 module Engine = Routing.Engine
+module Batch = Routing.Batch
 module Reference = Routing.Reference
 module Staged = Routing.Staged
 module Reach = Routing.Reach

@@ -25,9 +25,33 @@ let partition_counts ?pool pairs ~count_one =
   Array.fold_left Metric.Partition.add Metric.Partition.zero per_pair
 
 let partition_fractions ?pool g policy pairs =
-  Metric.Partition.fractions
-    (partition_counts ?pool pairs ~count_one:(fun ~ws ~attacker ~dst ->
-         Metric.Partition.count ~ws g policy ~attacker ~dst))
+  let batched =
+    (* Security 3rd classifies off one attacked solve, so pairs sharing
+       a destination ride one batched drain; the other models derive
+       the partition from reachability closures and stay per-pair. *)
+    match (policy : Routing.Policy.t).model with
+    | Security_third -> Metric.H_metric.batch_enabled ()
+    | Security_first | Security_second -> false
+  in
+  let total =
+    if batched then begin
+      let items = Metric.H_metric.batch_plan pairs in
+      let per_item =
+        Parallel.map ?pool
+          (fun (dst, attackers, _pos) ->
+            Array.fold_left Metric.Partition.add Metric.Partition.zero
+              (Metric.Partition.sec3_count_batch
+                 ~ws:(Routing.Batch.Workspace.local ())
+                 g policy ~dst ~attackers))
+          items
+      in
+      Array.fold_left Metric.Partition.add Metric.Partition.zero per_item
+    end
+    else
+      partition_counts ?pool pairs ~count_one:(fun ~ws ~attacker ~dst ->
+          Metric.Partition.count ~ws g policy ~attacker ~dst)
+  in
+  Metric.Partition.fractions total
 
 let partition_fractions_among ?pool g policy pairs ~sources =
   Metric.Partition.fractions

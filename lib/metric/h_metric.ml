@@ -118,6 +118,129 @@ let pair_bounds ?ws g policy dep { attacker; dst } =
   in
   to_bounds (happy outcome)
 
+(* --- Destination-major batched evaluation ---------------------------
+
+   Pairs sharing a destination share the whole attacker-free part of the
+   routing tree, so they are solved together by {!Routing.Batch}: one
+   label-setting drain per <= 63 attackers.  The per-lane happiness
+   counts are folded directly off the frozen lane groups — one callback
+   per group, not per (lane, AS) — so no per-attacker outcome record is
+   ever materialized.  Skipping class-3 (root) groups excludes exactly
+   the two non-sources of each lane: the destination everywhere, and the
+   lane's own attacker in that lane; every other AS either has an
+   ordinary group containing the lane or is unreached (unhappy either
+   way).  The counts — and via [Stats.fraction] the float bounds — are
+   bit-identical to [to_bounds (happy outcome)] on the scalar path. *)
+
+let batch_off_values = [ "0"; "false"; "no"; "off" ]
+
+let batch_enabled () =
+  match Sys.getenv_opt "SBGP_BATCH" with
+  | Some v ->
+      not
+        (List.exists (String.equal (String.lowercase_ascii v)) batch_off_values)
+  | None -> true
+
+(* One work item: solve destination [bdst] for the attackers of the
+   pairs at [bpos] (positions into the caller's index array). *)
+type batch_item = { bdst : int; bpos : int array }
+
+(* Group the pair positions by destination (first-seen order, keyed
+   lookups only — no Hashtbl iteration) and chunk each destination's
+   attacker list into full words. *)
+let batch_items pairs idxs =
+  let by_dst = Hashtbl.create 64 in
+  let order = ref [] in
+  Array.iteri
+    (fun j i ->
+      let p = pairs.(i) in
+      match Hashtbl.find_opt by_dst p.dst with
+      | Some l -> l := j :: !l
+      | None ->
+          Hashtbl.add by_dst p.dst (ref [ j ]);
+          order := p.dst :: !order)
+    idxs;
+  let items = ref [] in
+  List.iter
+    (fun dst ->
+      let slots =
+        match Hashtbl.find_opt by_dst dst with
+        | Some l -> Array.of_list (List.rev !l)
+        | None -> [||]
+      in
+      let total = Array.length slots in
+      let lanes = Routing.Batch.max_lanes in
+      let k = ref 0 in
+      while !k < total do
+        let len = min lanes (total - !k) in
+        items := { bdst = dst; bpos = Array.sub slots !k len } :: !items;
+        k := !k + len
+      done)
+    (List.rev !order);
+  Array.of_list (List.rev !items)
+
+(* Public face of the grouping, for callers that batch their own
+   per-pair folds (partition counts, the divergence checker). *)
+let batch_plan pairs =
+  let idxs = Array.init (Array.length pairs) (fun i -> i) in
+  Array.map
+    (fun item ->
+      ( item.bdst,
+        Array.map (fun j -> pairs.(j).attacker) item.bpos,
+        Array.copy item.bpos ))
+    (batch_items pairs idxs)
+
+(* Solve one item and fold the per-lane bounds off the groups. *)
+let batch_item_bounds ~ws g policy dep pairs idxs item =
+  let attackers =
+    Array.map (fun j -> pairs.(idxs.(j)).attacker) item.bpos
+  in
+  let b = Routing.Batch.compute ~ws g policy dep ~dst:item.bdst ~attackers in
+  let lanes = Array.length attackers in
+  let lb = Array.make lanes 0 and ub = Array.make lanes 0 in
+  Routing.Batch.iter_fixed b (fun ~v:_ ~mask ~word ~parent:_ ->
+      let open Routing.Engine.Packed in
+      if cls_code_of word <> 3 && to_d_of word then begin
+        Prelude.Bitset.iter_word (fun l -> ub.(l) <- ub.(l) + 1) mask;
+        if not (to_m_of word) then
+          Prelude.Bitset.iter_word (fun l -> lb.(l) <- lb.(l) + 1) mask
+      end);
+  let sources = Topology.Graph.n g - 2 in
+  Array.init lanes (fun l ->
+      {
+        lb = Prelude.Stats.fraction lb.(l) sources;
+        ub = Prelude.Stats.fraction ub.(l) sources;
+      })
+
+(* Evaluate [pairs.(idxs.(j))] for every [j], batched by destination.
+   Returns bounds aligned with [idxs].  [report] ticks from the caller
+   domain with the number of pairs each of its items covered. *)
+let batched_map ?report ?pool ?(domains = 1) g policy dep pairs idxs =
+  let items = batch_items pairs idxs in
+  let caller = (Domain.self () :> int) in
+  let per_item =
+    (* Items are few and coarse (one drain each): steal singly. *)
+    Parallel.map ?pool ~domains ~chunk:1
+      (fun item ->
+        let out =
+          batch_item_bounds
+            ~ws:(Routing.Batch.Workspace.local ())
+            g policy dep pairs idxs item
+        in
+        (match report with
+        | Some f when (Domain.self () :> int) = caller ->
+            f (Array.length item.bpos)
+        | _ -> ());
+        out)
+      items
+  in
+  let out = Array.make (Array.length idxs) { lb = 0.; ub = 0. } in
+  Array.iteri
+    (fun k item ->
+      Array.iteri (fun l j -> out.(j) <- per_item.(k).(l)) item.bpos)
+    items;
+  out
+
 (* Dense injective encoding of a policy for cache keys: the model index in
    the low bits, the local-preference variant above. *)
 let lp_code (p : Routing.Policy.t) =
@@ -269,7 +392,54 @@ let h_metric ?progress ?pool ?(domains = 1) ?cache g policy dep pairs =
       | None -> domains > 1
     in
     let per_pair =
-      if use_pool then begin
+      if batch_enabled () then begin
+        (* Destination-major batched path (default): pre-resolve the
+           cache per pair, then solve only the misses, whole attacker
+           words at a time.  Progress ticks in covered pairs from the
+           caller's share of the items. *)
+        let vals = Array.make total { lb = 0.; ub = 0. } in
+        let miss = ref [] in
+        let nmiss = ref 0 in
+        Array.iteri
+          (fun i p ->
+            match find p with
+            | Some b -> vals.(i) <- b
+            | None ->
+                miss := i :: !miss;
+                incr nmiss)
+          pairs;
+        (match progress with
+        | Some f ->
+            for d = 1 to total - !nmiss do
+              f d total
+            done
+        | None -> ());
+        let idxs = Array.of_list (List.rev !miss) in
+        if Array.length idxs > 0 then begin
+          let caller_done = ref (total - !nmiss) in
+          let report =
+            match progress with
+            | None -> None
+            | Some f ->
+                Some
+                  (fun k ->
+                    (* One tick per covered pair, matching the scalar
+                       path's cadence. *)
+                    for _ = 1 to k do
+                      incr caller_done;
+                      f !caller_done total
+                    done)
+          in
+          let out = batched_map ?report ?pool ~domains g policy dep pairs idxs in
+          Array.iteri
+            (fun j i ->
+              vals.(i) <- out.(j);
+              remember pairs.(i) out.(j))
+            idxs
+        end;
+        vals
+      end
+      else if use_pool then begin
         (* Each domain (pool worker or caller) reuses its own private
            engine workspace across the pairs it steals.  Progress is
            reported from the caller's share of the stolen work only: the
@@ -417,15 +587,25 @@ module Evaluator = struct
     | None -> Array.iteri classify_fresh t.pairs);
     let idxs = Array.of_list (List.rev !to_compute) in
     if Array.length idxs > 0 then begin
-      let computed =
-        Parallel.map ?pool:t.pool ~domains:1
-          (fun i ->
-            pair_bounds
-              ~ws:(Routing.Engine.Workspace.local ())
-              t.g t.policy dep t.pairs.(i))
-          idxs
-      in
-      Array.iteri (fun j i -> vals.(i) <- computed.(j)) idxs
+      if batch_enabled () then begin
+        (* [idxs] holds only pairs the dirty cone (and caches) left
+           standing, so clean attackers are already masked out of the
+           lane words: a destination with one dirty attacker costs a
+           1-lane solve, not a full word. *)
+        let out = batched_map ?pool:t.pool t.g t.policy dep t.pairs idxs in
+        Array.iteri (fun j i -> vals.(i) <- out.(j)) idxs
+      end
+      else begin
+        let computed =
+          Parallel.map ?pool:t.pool ~domains:1
+            (fun i ->
+              pair_bounds
+                ~ws:(Routing.Engine.Workspace.local ())
+                t.g t.policy dep t.pairs.(i))
+            idxs
+        in
+        Array.iteri (fun j i -> vals.(i) <- computed.(j)) idxs
+      end
     end;
     (* Publish every value (carried ones included) under the new version:
        sibling evaluators and plain [h_metric ~cache] calls sharing this

@@ -120,6 +120,21 @@ module Cache : sig
   val clear : t -> unit
 end
 
+val batch_enabled : unit -> bool
+(** Whether the destination-major batched kernel ({!Routing.Batch})
+    drives the metric paths.  Default on; setting [SBGP_BATCH] to [0],
+    [false], [no] or [off] forces the scalar per-pair engine.  The two
+    paths are bit-identical — the switch exists for benchmarking and
+    divergence triage, not for correctness. *)
+
+val batch_plan : pair array -> (int * int array * int array) array
+(** Group pairs by destination (first-seen input order, deterministic)
+    and chunk each destination's attacker list into words of at most
+    {!Routing.Batch.max_lanes} lanes.  Each item is
+    [(dst, attackers, positions)] where [positions] indexes the input
+    array ([attackers.(l)] is [pairs.(positions.(l)).attacker]).
+    Every input position appears in exactly one item. *)
+
 val h_metric :
   ?progress:(int -> int -> unit) ->
   ?pool:Parallel.Pool.t ->
@@ -131,7 +146,12 @@ val h_metric :
   pair array ->
   bounds
 (** [H_{M,D}(S)] estimated over the given attacker-destination pairs.
-    [pool] fans the pairs out over a persistent worker pool; otherwise
+    By default, pairs sharing a destination are solved together by the
+    destination-major batched kernel — one routing-tree drain per
+    {!Routing.Batch.max_lanes} attackers — with per-lane counts folded
+    straight off the packed lane groups; see {!batch_enabled} to force
+    the scalar path.  [pool] fans the pairs out over a persistent worker
+    pool; otherwise
     [domains > 1] borrows the default pool (the pairs are independent and
     the graph is read-only).  Every domain — including the sequential
     path — reuses its private {!Routing.Engine.Workspace}, and the

@@ -269,6 +269,50 @@ let count ?ws g policy ~attacker ~dst =
   let classes = compute ?ws g policy ~attacker ~dst in
   count_of_classes classes (fun v -> v = attacker || v = dst)
 
+(* Security 3rd for a whole attacker word at once: the classification
+   reads only the endpoint flags of the baseline (empty-deployment)
+   attacked solve, so one batched drain classifies every lane.  The
+   fold skips class-3 (root) groups — the destination everywhere and
+   each lane's own attacker in its lane, exactly the per-lane excluded
+   sources — and counts the rest per flag pair; an AS with no group in
+   a lane is unreached there, so [unreachable] is the remainder.
+   Counts are bit-identical to per-attacker {!count}. *)
+let sec3_count_batch ?ws g policy ~dst ~attackers =
+  (match (policy : Routing.Policy.t).model with
+  | Security_third -> ()
+  | Security_first | Security_second ->
+      invalid_arg "Partition.sec3_count_batch: policy is not security 3rd");
+  let n = Topology.Graph.n g in
+  let lanes = Array.length attackers in
+  let doomed = Array.make lanes 0
+  and protectable = Array.make lanes 0
+  and immune = Array.make lanes 0 in
+  let b =
+    Routing.Batch.compute ?ws g policy (Deployment.empty n) ~dst ~attackers
+  in
+  Routing.Batch.iter_fixed b (fun ~v:_ ~mask ~word ~parent:_ ->
+      let open Routing.Engine.Packed in
+      if cls_code_of word <> 3 then begin
+        let tally =
+          if to_d_of word then
+            if to_m_of word then Some protectable else Some immune
+          else if to_m_of word then Some doomed
+          else None
+        in
+        match tally with
+        | Some t -> Prelude.Bitset.iter_word (fun l -> t.(l) <- t.(l) + 1) mask
+        | None -> ()
+      end);
+  let sources = n - 2 in
+  Array.init lanes (fun l ->
+      {
+        doomed = doomed.(l);
+        protectable = protectable.(l);
+        immune = immune.(l);
+        unreachable = sources - doomed.(l) - protectable.(l) - immune.(l);
+        sources;
+      })
+
 let count_among ?ws g policy ~attacker ~dst ~sources =
   let classes = compute ?ws g policy ~attacker ~dst in
   let keep = Hashtbl.create (Array.length sources) in

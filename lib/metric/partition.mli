@@ -76,6 +76,22 @@ val count :
   dst:int ->
   counts
 
+val sec3_count_batch :
+  ?ws:Routing.Batch.Workspace.t ->
+  Topology.Graph.t ->
+  Routing.Policy.t ->
+  dst:int ->
+  attackers:int array ->
+  counts array
+(** Security-3rd {!count} for every attacker of one destination off a
+    single batched solve ({!Routing.Batch}): the classification depends
+    only on the endpoint flags of the baseline attacked state, so one
+    drain serves up to [Routing.Batch.max_lanes] attackers.  Returns
+    the per-attacker counts in input order, bit-identical to calling
+    {!count} per pair.  Raises [Invalid_argument] if the policy's model
+    is not [Security_third] or the lane count is outside the batch
+    kernel's bounds. *)
+
 val count_among :
   ?ws:Routing.Engine.Workspace.t ->
   Topology.Graph.t ->

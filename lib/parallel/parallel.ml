@@ -81,7 +81,7 @@ module Pool = struct
 
   let sequential_map f items = Array.map f items
 
-  let map t f items =
+  let map ?chunk t f items =
     let n = Array.length items in
     if n <= 1 || t.size <= 1 || t.stop then sequential_map f items
     else begin
@@ -98,8 +98,15 @@ module Pool = struct
         let error = Atomic.make None in
         let next = Atomic.make 0 in
         (* Chunked stealing: big enough to keep the atomic off the hot
-           path, small enough to balance uneven per-item cost. *)
-        let chunk = max 1 (n / (t.size * 8)) in
+           path, small enough to balance uneven per-item cost.  Callers
+           with few, coarse items (the batched kernel's one-solve-per-
+           word work items) override to steal singly. *)
+        let chunk =
+          match chunk with
+          | Some c when c >= 1 -> c
+          | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+          | None -> max 1 (n / (t.size * 8))
+        in
         let steal () =
           let continue = ref true in
           while !continue do
@@ -152,9 +159,9 @@ let default_pool () =
       at_exit (fun () -> Pool.shutdown p);
       p
 
-let map ?pool ?domains f items =
+let map ?pool ?domains ?chunk f items =
   match pool with
-  | Some p -> Pool.map p f items
+  | Some p -> Pool.map ?chunk p f items
   | None -> (
       let domains =
         match domains with Some d -> d | None -> default_domains ()
@@ -162,7 +169,7 @@ let map ?pool ?domains f items =
       if domains <= 1 || Array.length items <= 1 then Array.map f items
       else
         let dp = default_pool () in
-        if Pool.size dp > 1 then Pool.map dp f items
+        if Pool.size dp > 1 then Pool.map ?chunk dp f items
         else begin
           (* The caller explicitly asked for parallelism but the ambient
              pool is sequential (e.g. SBGP_DOMAINS=1 on this machine):
@@ -170,7 +177,7 @@ let map ?pool ?domains f items =
           let p = Pool.create ~domains () in
           Fun.protect
             ~finally:(fun () -> Pool.shutdown p)
-            (fun () -> Pool.map p f items)
+            (fun () -> Pool.map ?chunk p f items)
         end)
 
 let map_reduce ?pool ?domains ~map:f ~combine neutral items =

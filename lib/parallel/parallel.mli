@@ -31,13 +31,19 @@ module Pool : sig
   val size : t -> int
   (** Total domains applied to a job, including the calling one. *)
 
-  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
   (** [map pool f items] applies [f] to every item across the pool's
       domains.  Results are returned in input order regardless of the
       execution interleaving, so output is deterministic whenever [f] is.
       The first worker exception, if any, is re-raised in the caller.
       Re-entrant calls (a [map] from inside a worker function) degrade to
-      a sequential map instead of deadlocking. *)
+      a sequential map instead of deadlocking.
+
+      [chunk] overrides the stealing granularity (default: items split
+      ~8 ways per domain).  Pass [~chunk:1] when the items are few and
+      individually coarse — e.g. one batched routing solve per item —
+      so no domain hoards several of them.  Raises [Invalid_argument]
+      when [chunk < 1]. *)
 
   val shutdown : t -> unit
   (** Join all worker domains.  Subsequent [map]s run sequentially. *)
@@ -47,12 +53,19 @@ val default_pool : unit -> Pool.t
 (** The process-wide pool, created on first use with {!default_domains}
     domains and shut down automatically at exit. *)
 
-val map : ?pool:Pool.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?chunk:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map f items] applies [f] to every item.  With [~pool] the work runs
     on that pool; otherwise [domains] (default {!default_domains})
     decides: [<= 1] maps sequentially in the calling domain, [> 1] uses
     the default pool (or a transient pool when the default pool is
-    sequential).  Output order always matches input order. *)
+    sequential).  [chunk] is the stealing granularity of {!Pool.map}.
+    Output order always matches input order. *)
 
 val map_reduce :
   ?pool:Pool.t ->

@@ -1,50 +1,93 @@
-type t = { bits : Bytes.t; n : int; mutable card : int }
+(* Backed by an [int array], 63 membership bits per word (the width of
+   an OCaml immediate int).  The word layout is public — see the .mli —
+   because the batched routing kernel packs one attacker per bit and
+   advances a whole word of attackers per CSR scan; keeping the set
+   representation and the kernel's lane masks the same width means a
+   destination's attacker word can flow between the two without
+   re-packing. *)
+
+let word_bits = 63
+
+type t = { words : int array; n : int; mutable card : int }
 
 let create n =
   if n < 0 then invalid_arg "Bitset.create";
-  { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+  { words = Array.make ((n + word_bits - 1) / word_bits) 0; n; card = 0 }
 
 let length t = t.n
+let words t = Array.length t.words
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
 
 let mem t i =
   check t i;
-  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+  t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
 
 let add t i =
   check t i;
-  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
-  let bit = 1 lsl (i land 7) in
-  if byte land bit = 0 then begin
-    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte lor bit));
+  let w = t.words.(i / word_bits) in
+  let bit = 1 lsl (i mod word_bits) in
+  if w land bit = 0 then begin
+    t.words.(i / word_bits) <- w lor bit;
     t.card <- t.card + 1
   end
 
 let remove t i =
   check t i;
-  let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
-  let bit = 1 lsl (i land 7) in
-  if byte land bit <> 0 then begin
-    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte land lnot bit));
+  let w = t.words.(i / word_bits) in
+  let bit = 1 lsl (i mod word_bits) in
+  if w land bit <> 0 then begin
+    t.words.(i / word_bits) <- w land lnot bit;
     t.card <- t.card - 1
   end
 
 let clear t =
-  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  Array.fill t.words 0 (Array.length t.words) 0;
   t.card <- 0
 
 let cardinal t = t.card
 
-let iter f t =
-  for i = 0 to t.n - 1 do
-    if mem t i then f i
+(* Kernighan loop: one iteration per set bit.  Valid for any word
+   pattern a [t] can hold (bit 62 included: [w - 1] on [min_int] wraps
+   to [max_int], clearing exactly the sign bit). *)
+let popcount_word w0 =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w0 0
+
+let iter_word f w0 =
+  let w = ref w0 in
+  while !w <> 0 do
+    let b = !w land - !w in
+    f (popcount_word (b - 1));
+    w := !w lxor b
   done
+
+let get_word t j =
+  if j < 0 || j >= Array.length t.words then
+    invalid_arg "Bitset.get_word: word index out of bounds";
+  t.words.(j)
+
+let fold_words f t init =
+  let acc = ref init in
+  for j = 0 to Array.length t.words - 1 do
+    acc := f j t.words.(j) !acc
+  done;
+  !acc
+
+let iter_set f t =
+  for j = 0 to Array.length t.words - 1 do
+    let w = t.words.(j) in
+    if w <> 0 then
+      let base = j * word_bits in
+      iter_word (fun b -> f (base + b)) w
+  done
+
+let iter = iter_set
 
 let fold f t init =
   let acc = ref init in
-  iter (fun i -> acc := f i !acc) t;
+  iter_set (fun i -> acc := f i !acc) t;
   !acc
 
 let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
@@ -54,4 +97,27 @@ let of_list n items =
   List.iter (add t) items;
   t
 
-let copy t = { bits = Bytes.copy t.bits; n = t.n; card = t.card }
+let copy t = { words = Array.copy t.words; n = t.n; card = t.card }
+
+let recount t =
+  let c = ref 0 in
+  Array.iter (fun w -> c := !c + popcount_word w) t.words;
+  t.card <- !c
+
+let same_universe name ~into src =
+  if into.n <> src.n then
+    invalid_arg (name ^ ": universe sizes differ")
+
+let union_into ~into src =
+  same_universe "Bitset.union_into" ~into src;
+  for j = 0 to Array.length into.words - 1 do
+    into.words.(j) <- into.words.(j) lor src.words.(j)
+  done;
+  recount into
+
+let diff_into ~into src =
+  same_universe "Bitset.diff_into" ~into src;
+  for j = 0 to Array.length into.words - 1 do
+    into.words.(j) <- into.words.(j) land lnot src.words.(j)
+  done;
+  recount into

@@ -26,6 +26,46 @@ type tiebreak =
           next hop has the smallest AS number.  Used for cross-validation
           with the dynamic simulator. *)
 
+module Packed : sig
+  (** The packed candidate-word layout shared by this kernel and the
+      batched kernel ({!Batch}), LSB-first:
+
+      {v
+        bit  0      to_m   — some equally-best route leads to the attacker
+        bit  1      to_d   — some equally-best route leads to the destination
+        bit  2      secure — the route is fully signed and validated
+        bits 3-4    cls    — 0 customer / 1 peer / 2 provider / 3 root
+        bits 5-28   len    — perceived path length (max_len = n + 1 < 2^24)
+        bits 29-62  rank   — Policy.rank of (cls, len, secure)
+      v}
+
+      The rank is injective on (cls, len, secure), so equal ranks imply
+      equal decoded fields — the property that lets the batched kernel
+      share one word across a whole lane group. *)
+
+  val to_m_flag : int
+  val to_d_flag : int
+  val secure_flag : int
+  val cls_shift : int
+  val len_shift : int
+  val len_mask : int
+  val rank_shift : int
+
+  val pack :
+    rank:int -> cls_code:int -> len:int -> secure:bool -> flags:int -> int
+  (** [flags] is a pre-or'd subset of [to_m_flag lor to_d_flag]. *)
+
+  val rank_of : int -> int
+  val len_of : int -> int
+  val cls_code_of : int -> int
+  val secure_of : int -> bool
+  val to_d_of : int -> bool
+  val to_m_of : int -> bool
+
+  val describe : int -> string
+  (** All decoded fields of a packed word, for divergence diagnostics. *)
+end
+
 module Workspace : sig
   (** Reusable scratch buffers for {!compute}.
 

@@ -1,0 +1,16 @@
+(* Seeded A3 defect: a batch-kernel lookalike that is NOT on the vetted
+   list.  The rule vets full module paths, not module names, so an
+   impostor [Batch] module scanning packed lane slabs with unsafe
+   accesses must still trip ast/unsafe-access — only the registered
+   Routing.Batch (here, the fixture Vetted_kernel) gets a pass. *)
+
+module Batch = struct
+  let relax (gword : int array) (gmask : int array) base lanes =
+    let winners = ref 0 in
+    for i = 0 to lanes - 1 do
+      let w = Array.unsafe_get gword (base + i) in
+      winners := !winners lor (w land Array.unsafe_get gmask (base + i));
+      Array.unsafe_set gword (base + i) (w lor 1)
+    done;
+    !winners
+end

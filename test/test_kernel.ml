@@ -163,6 +163,141 @@ let test_no_attacker =
           && check_none "engine vs staged" (outcome_mismatch a s))
         standard_models)
 
+(* Destination-major batched kernel: decoding each lane of one batched
+   solve must be bit-identical to a scalar Engine.compute against that
+   lane's attacker — random policies (Lp_k included), both tiebreaks,
+   random claims, duplicate attackers allowed (two lanes may share an
+   attacker and must still decode independently). *)
+let random_attackers rng ~n ~dst =
+  let lanes = 1 + Rng.int rng (min Batch.max_lanes (2 * (n - 1))) in
+  Array.init lanes (fun _ ->
+      let m = Rng.int rng (n - 1) in
+      if m >= dst then m + 1 else m)
+
+let test_batch_vs_engine =
+  qtest "batched kernel = scalar engine per lane" ~count:300 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let dst = Rng.int rng n in
+      let attackers = random_attackers rng ~n ~dst in
+      let policy = random_policy rng in
+      let tiebreak =
+        if Rng.bool rng then Engine.Bounds else Engine.Lowest_next_hop
+      in
+      let claim = Rng.int rng 3 in
+      let b =
+        Batch.compute ~tiebreak ~attacker_claim:claim g policy dep ~dst
+          ~attackers
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun lane m ->
+          let want =
+            Engine.compute ~tiebreak ~attacker_claim:claim g policy dep ~dst
+              ~attacker:(Some m)
+          in
+          let got = Batch.decode b ~lane in
+          if
+            not
+              (check_none
+                 (Printf.sprintf "lane %d (attacker %d)" lane m)
+                 (outcome_mismatch want got))
+          then ok := false)
+        attackers;
+      !ok)
+
+(* All three standard models with the Appendix-B staged specification as
+   the oracle: the batch path must not drift from the paper's semantics
+   either (Bounds tiebreak, claim 1, like Staged). *)
+let test_batch_vs_staged =
+  qtest "batched kernel = staged specification per lane" ~count:150
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:20 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let dst = Rng.int rng n in
+      let attackers = random_attackers rng ~n ~dst in
+      List.for_all
+        (fun policy ->
+          let b = Batch.compute g policy dep ~dst ~attackers in
+          let ok = ref true in
+          Array.iteri
+            (fun lane m ->
+              let want = Staged.compute g policy dep ~dst ~attacker:(Some m) in
+              let got = Batch.decode b ~lane in
+              if
+                not
+                  (check_none
+                     (Printf.sprintf "%s lane %d" (Policy.name policy) lane)
+                     (outcome_mismatch want got))
+              then ok := false)
+            attackers;
+          !ok)
+        standard_models)
+
+(* One batch workspace reused across growing and shrinking graph sizes,
+   with a reused decode outcome: the epoch-stamped slabs must never leak
+   groups from a previous solve, and a result must go stale the moment
+   its workspace is reused. *)
+let test_batch_workspace_reuse =
+  qtest "batch workspace reuse across sizes" ~count:60 (fun seed ->
+      let rng = Rng.create seed in
+      let ws = Batch.Workspace.create 0 in
+      let into = Outcome.create ~n:1 ~dst:0 ~attacker:None in
+      let stale = ref None in
+      let ok =
+        List.for_all
+          (fun max_n ->
+            let g = random_graph rng ~max_n in
+            let n = Graph.n g in
+            let dep = random_deployment rng n in
+            let dst = Rng.int rng n in
+            let attackers = random_attackers rng ~n ~dst in
+            let policy = random_policy rng in
+            let b = Batch.compute ~ws g policy dep ~dst ~attackers in
+            stale := Some b;
+            let lane = Rng.int rng (Array.length attackers) in
+            let want =
+              Engine.compute g policy dep ~dst
+                ~attacker:(Some attackers.(lane))
+            in
+            let got = Batch.decode ~into b ~lane in
+            check_none "reused ws + into" (outcome_mismatch want got))
+          [ 5; 9; 17; 33; 12; 40 ]
+      in
+      ok
+      &&
+      match !stale with
+      | None -> false
+      | Some b -> (
+          (* The last result is live; recompute on the same workspace and
+             the accessors must refuse it. *)
+          let g = random_graph rng ~max_n:8 in
+          let n = Graph.n g in
+          let dep = random_deployment rng n in
+          let (_ : Batch.t) =
+            Batch.compute ~ws g (random_policy rng) dep ~dst:0
+              ~attackers:[| 1 |]
+          in
+          try
+            Batch.iter_fixed b (fun ~v:_ ~mask:_ ~word:_ ~parent:_ -> ());
+            false
+          with Invalid_argument _ -> true))
+
+let test_batch_validation () =
+  let rng = Rng.create 7 in
+  let g = random_graph rng ~max_n:10 in
+  let dep = Deployment.empty (Graph.n g) in
+  Alcotest.check_raises "attacker = dst"
+    (Invalid_argument "Batch.compute: attacker = dst") (fun () ->
+      ignore (Batch.compute g sec3 dep ~dst:0 ~attackers:[| 1; 0 |]));
+  Alcotest.check_raises "no lanes"
+    (Invalid_argument "Batch.compute: lane count 0 outside 1..63") (fun () ->
+      ignore (Batch.compute g sec3 dep ~dst:0 ~attackers:[||]))
+
 (* The CSR view itself: segments match the per-class adjacency arrays on
    random graphs. *)
 let test_csr_segments =
@@ -194,6 +329,13 @@ let () =
           test_engine_vs_staged;
           test_workspace_across_sizes;
           test_no_attacker;
+        ] );
+      ( "batched kernel",
+        [
+          test_batch_vs_engine;
+          test_batch_vs_staged;
+          test_batch_workspace_reuse;
+          Alcotest.test_case "validation" `Quick test_batch_validation;
         ] );
       ( "csr",
         [ test_csr_segments ] );

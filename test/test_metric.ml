@@ -342,6 +342,94 @@ let test_partition_exhaustive =
         !ok
       end)
 
+(* The batched default path of h_metric (destination-major lane words)
+   must be bit-identical — exact float equality — to the scalar
+   per-pair fold, for random policies, deployments and pair sets with
+   shared destinations. *)
+let test_batched_h_metric_identity =
+  qtest "batched h_metric = scalar per-pair fold" ~count:150 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dep = random_deployment rng n in
+      let policy = random_policy rng in
+      let pairs =
+        Metric.pairs
+          ~attackers:(Rng.sample_without_replacement rng (min 6 n) n)
+          ~dsts:(Rng.sample_without_replacement rng (min 5 n) n)
+          ()
+      in
+      Array.length pairs = 0
+      ||
+      let got = Metric.h_metric g policy dep pairs in
+      let lb = ref 0. and ub = ref 0. in
+      Array.iter
+        (fun p ->
+          let b = Metric.pair_bounds g policy dep p in
+          lb := !lb +. b.Metric.lb;
+          ub := !ub +. b.Metric.ub)
+        pairs;
+      let total = float_of_int (Array.length pairs) in
+      got.Metric.lb = !lb /. total && got.Metric.ub = !ub /. total)
+
+(* batch_plan covers each input position exactly once, groups by the
+   position's destination and never exceeds the lane bound. *)
+let test_batch_plan =
+  qtest "batch_plan partitions the pair positions" ~count:200 (fun seed ->
+      let rng = Rng.create seed in
+      let npairs = 1 + Rng.int rng 300 in
+      let pairs =
+        Array.init npairs (fun _ ->
+            {
+              Metric.attacker = Rng.int rng 20;
+              dst = 100 + Rng.int rng 5 (* few dsts: forces chunking *);
+            })
+      in
+      let items = Metric.batch_plan pairs in
+      let seen = Array.make npairs 0 in
+      let ok = ref true in
+      Array.iter
+        (fun (dst, attackers, pos) ->
+          if Array.length pos = 0 || Array.length pos > Batch.max_lanes then
+            ok := false;
+          if Array.length attackers <> Array.length pos then ok := false;
+          Array.iteri
+            (fun l j ->
+              seen.(j) <- seen.(j) + 1;
+              if pairs.(j).Metric.dst <> dst then ok := false;
+              if pairs.(j).Metric.attacker <> attackers.(l) then ok := false)
+            pos)
+        items;
+      !ok && Array.for_all (fun c -> c = 1) seen)
+
+(* Per-lane partition counts off one batched solve = per-pair counts,
+   security 3rd under both LP variants. *)
+let test_sec3_count_batch =
+  qtest "sec3 batched partition counts = per-pair counts" ~count:150
+    (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n in
+      let lanes = 1 + Rng.int rng (min 8 (n - 1)) in
+      let attackers =
+        Array.init lanes (fun _ ->
+            let m = Rng.int rng (n - 1) in
+            if m >= dst then m + 1 else m)
+      in
+      let policy =
+        if Rng.bool rng then sec3
+        else Policy.make ~lp:(Policy.Lp_k (1 + Rng.int rng 3)) Policy.Security_third
+      in
+      let batch = Partition.sec3_count_batch g policy ~dst ~attackers in
+      let ok = ref true in
+      Array.iteri
+        (fun l m ->
+          let want = Partition.count g policy ~attacker:m ~dst in
+          if want <> batch.(l) then ok := false)
+        attackers;
+      !ok)
+
 let () =
   Alcotest.run "metric"
     [
@@ -357,6 +445,8 @@ let () =
           Alcotest.test_case "per-destination metric" `Quick test_h_metric_per_dst;
           test_lb_below_ub;
           test_baseline_model_independent;
+          test_batched_h_metric_identity;
+          test_batch_plan;
         ] );
       ( "partitions",
         [
@@ -365,5 +455,6 @@ let () =
           test_partition_counts;
           test_protectable_sec1;
           test_partition_bounds_metric;
+          test_sec3_count_batch;
         ] );
     ]

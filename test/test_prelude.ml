@@ -106,6 +106,98 @@ let test_bitset_vs_reference =
       Bitset.cardinal s = Hashtbl.length reference
       && List.for_all (fun v -> Hashtbl.mem reference v) (Bitset.to_list s))
 
+(* Word-level API against a naive bool-array model: random add/remove
+   churn plus in-place union/diff against a second set, then every
+   accessor cross-checked — [get_word]/[fold_words] bit-by-bit against
+   the model, [iter_set] for exact member order, cardinal for the
+   popcount bookkeeping of the in-place operations. *)
+let test_bitset_words_vs_model =
+  Test_helpers.qtest "bitset word API agrees with bool-array model" ~count:300
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + Rng.int rng 300 in
+      let s = Bitset.create n and s2 = Bitset.create n in
+      let m = Array.make n false and m2 = Array.make n false in
+      for _ = 1 to 200 do
+        let v = Rng.int rng n in
+        match Rng.int rng 4 with
+        | 0 ->
+            Bitset.add s v;
+            m.(v) <- true
+        | 1 ->
+            Bitset.remove s v;
+            m.(v) <- false
+        | 2 ->
+            Bitset.add s2 v;
+            m2.(v) <- true
+        | _ ->
+            Bitset.remove s2 v;
+            m2.(v) <- false
+      done;
+      (match Rng.int rng 3 with
+      | 0 ->
+          Bitset.union_into ~into:s s2;
+          Array.iteri (fun i b -> if b then m.(i) <- true) m2
+      | 1 ->
+          Bitset.diff_into ~into:s s2;
+          Array.iteri (fun i b -> if b then m.(i) <- false) m2
+      | _ -> ());
+      let model_card = Array.fold_left (fun a b -> if b then a + 1 else a) 0 m in
+      let words_ok =
+        Bitset.words s = (n + Bitset.word_bits - 1) / Bitset.word_bits
+      in
+      let get_ok = ref true in
+      for j = 0 to Bitset.words s - 1 do
+        let w = Bitset.get_word s j in
+        for b = 0 to Bitset.word_bits - 1 do
+          let i = (j * Bitset.word_bits) + b in
+          let want = i < n && m.(i) in
+          if w land (1 lsl b) <> 0 <> want then get_ok := false
+        done
+      done;
+      let fold_card =
+        Bitset.fold_words (fun _ w acc -> acc + Bitset.popcount_word w) s 0
+      in
+      let members = ref [] in
+      Bitset.iter_set (fun i -> members := i :: !members) s;
+      let model_members = ref [] in
+      for i = n - 1 downto 0 do
+        if m.(i) then model_members := i :: !model_members
+      done;
+      words_ok && !get_ok
+      && Bitset.cardinal s = model_card
+      && fold_card = model_card
+      && List.rev !members = !model_members)
+
+(* Raw-word helpers on adversarial patterns, the sign bit (index 62)
+   included. *)
+let test_bitset_raw_words () =
+  Alcotest.(check int) "word_bits" 63 Bitset.word_bits;
+  Alcotest.(check int) "popcount 0" 0 (Bitset.popcount_word 0);
+  Alcotest.(check int) "popcount -1" 63 (Bitset.popcount_word (-1));
+  Alcotest.(check int) "popcount sign bit" 1
+    (Bitset.popcount_word (1 lsl 62));
+  let bits w =
+    let acc = ref [] in
+    Bitset.iter_word (fun b -> acc := b :: !acc) w;
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "iter_word mixed" [ 0; 5; 62 ]
+    (bits (1 lor (1 lsl 5) lor (1 lsl 62)));
+  Alcotest.(check (list int)) "iter_word empty" [] (bits 0)
+
+let test_bitset_word_bounds () =
+  let s = Bitset.create 10 and tiny = Bitset.create 9 in
+  Alcotest.check_raises "get_word out of bounds"
+    (Invalid_argument "Bitset.get_word: word index out of bounds") (fun () ->
+      ignore (Bitset.get_word s 1));
+  Alcotest.check_raises "union universe mismatch"
+    (Invalid_argument "Bitset.union_into: universe sizes differ") (fun () ->
+      Bitset.union_into ~into:s tiny);
+  Alcotest.check_raises "diff universe mismatch"
+    (Invalid_argument "Bitset.diff_into: universe sizes differ") (fun () ->
+      Bitset.diff_into ~into:s tiny)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
   Alcotest.(check (float 1e-9)) "mean empty" 0. (Stats.mean [||]);
@@ -159,7 +251,10 @@ let () =
         [
           Alcotest.test_case "basic ops" `Quick test_bitset_basic;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "raw words" `Quick test_bitset_raw_words;
+          Alcotest.test_case "word bounds" `Quick test_bitset_word_bounds;
           test_bitset_vs_reference;
+          test_bitset_words_vs_model;
         ] );
       ( "stats",
         [

@@ -46,4 +46,10 @@ echo "== kernel bench (smoke)"
 SBGP_BENCH_ONLY=kernel SBGP_BENCH_N=250 SBGP_BENCH_KERNEL_PAIRS=10 \
   SBGP_BENCH_KERNEL_REPS=1 dune exec bench/main.exe
 
+echo "== batch bench (smoke)"
+# Toy-scale run of the destination-major batched kernel benchmark: the
+# analyze_batch lane-decode identity gate inside it is the point.
+SBGP_BENCH_ONLY=batch SBGP_BENCH_N=250 SBGP_BENCH_BATCH_DSTS=2 \
+  SBGP_BENCH_BATCH_REPS=1 dune exec bench/main.exe
+
 echo "ci: all green"
