@@ -285,9 +285,12 @@ let check_cmd =
             "Run only the typed-AST static analysis (rules ast/*): scan \
              the .cmt artifacts of lib/ and bin/ for polymorphic/float \
              comparison in hot paths, determinism taint, unsafe array \
-             access and exception swallowing, honoring \
-             tools/astlint/allowlist.txt.  Requires a prior dune build \
-             (set SBGP_CMT_ROOT to point at the build root explicitly).")
+             access, exception swallowing, and the domain-safety rules \
+             (mutable state escaping into parallel closures, \
+             lock-discipline violations, workspaces crossing a parallel \
+             boundary), honoring tools/astlint/allowlist.txt.  Requires \
+             a prior dune build (set SBGP_CMT_ROOT to point at the build \
+             root explicitly).")
   in
   let run_static () =
     match Core.Analysis.Cmt_loader.locate_build_root () with

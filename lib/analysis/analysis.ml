@@ -1,12 +1,14 @@
 (* Typed-AST static analysis over dune's .cmt artifacts.
 
-   The pipeline (DESIGN.md §11): locate the build root, scan for .cmt
-   binary annotations, walk each Typedtree once collecting facts
-   (Unit_info), derive the type-immediacy registry (Typereg) and the
-   inter-module call graph (Callgraph), then let the rule catalogue
-   (Rules) turn facts into Check.Diagnostic findings.  Nothing is
-   recompiled here: the analyzer reads what `dune build @check` left
-   behind, which is also how the @lint alias sequences it. *)
+   The pipeline (DESIGN.md §11, §13): locate the build root, scan for
+   .cmt binary annotations, walk each Typedtree once collecting facts
+   (Unit_info), derive the type-immediacy registry (Typereg), the
+   inter-module call graph (Callgraph) and the mutex-guard registry
+   (Lockreg), then let the rule catalogue (Rules) turn facts into
+   findings.  Nothing is recompiled here: the analyzer reads what
+   `dune build @check` left behind, which is also how the @lint alias
+   sequences it.  An optional digest cache skips re-walking units whose
+   .cmt artifact is unchanged since the previous run. *)
 
 module Syms = Syms
 module Cmt_loader = Cmt_loader
@@ -14,36 +16,69 @@ module Unit_info = Unit_info
 module Typereg = Typereg
 module Allowlist = Allowlist
 module Callgraph = Callgraph
+module Lockreg = Lockreg
 module Rules = Rules
 module D = Check.Diagnostic
 
-type outcome = { units : Unit_info.t list; report : D.report }
+type outcome = {
+  units : Unit_info.t list;
+  findings : Rules.finding list;
+  report : D.report;
+  cached : int;
+}
 
 let default_dirs = [ "lib"; "bin" ]
 
-let load_units files =
+let walk_file file =
+  match Cmt_loader.read file with
+  | Error msg ->
+      Error
+        (D.error ~rule:Rules.rule_unreadable
+           (Printf.sprintf "%s: %s" file msg))
+  | Ok (uf, infos) -> (
+      match infos.Cmt_format.cmt_annots with
+      | Cmt_format.Implementation str ->
+          let modname = Syms.canon_string uf.modname in
+          Ok (Some (Unit_info.walk ~modname ~source:uf.source str))
+      | _ -> Ok None)
+
+let load_units ?cache files =
+  let cached = ref 0 in
   let units, diags =
     List.fold_left
       (fun (units, diags) file ->
-        match Cmt_loader.read file with
-        | Error msg ->
-            ( units,
-              D.error ~rule:Rules.rule_unreadable
-                (Printf.sprintf "%s: %s" file msg)
-              :: diags )
-        | Ok (uf, infos) -> (
-            match infos.Cmt_format.cmt_annots with
-            | Cmt_format.Implementation str ->
-                let modname = Syms.canon_string uf.modname in
-                ( Unit_info.walk ~modname ~source:uf.source str :: units,
-                  diags )
-            | _ -> (units, diags)))
+        let digest =
+          match cache with
+          | None -> None
+          | Some c -> (
+              match Cmt_loader.Cache.digest file with
+              | None -> None
+              | Some d -> Some (c, d))
+        in
+        let hit =
+          match digest with
+          | Some (c, d) -> Cmt_loader.Cache.lookup c ~digest:d
+          | None -> None
+        in
+        match hit with
+        | Some u ->
+            incr cached;
+            (u :: units, diags)
+        | None -> (
+            match walk_file file with
+            | Error d -> (units, d :: diags)
+            | Ok None -> (units, diags)
+            | Ok (Some u) ->
+                (match digest with
+                | Some (c, d) -> Cmt_loader.Cache.store c ~digest:d u
+                | None -> ());
+                (u :: units, diags)))
       ([], []) files
   in
-  (List.rev units, List.rev diags)
+  (List.rev units, List.rev diags, !cached)
 
 let analyze ?(config = fun allow -> Rules.default ~allow ())
-    ?allowlist_file ~root ~dirs () =
+    ?allowlist_file ?cache_path ~root ~dirs () =
   let files = Cmt_loader.scan ~root ~dirs in
   let allow, allow_diags =
     match allowlist_file with
@@ -69,11 +104,22 @@ let analyze ?(config = fun allow -> Rules.default ~allow ())
       ]
     else []
   in
-  let units, read_diags = load_units files in
+  let cache =
+    match cache_path with
+    | None -> None
+    | Some p -> Some (Cmt_loader.Cache.load ~path:p)
+  in
+  let units, read_diags, cached = load_units ?cache files in
+  (match (cache, cache_path) with
+  | Some c, Some p -> Cmt_loader.Cache.save c ~path:p
+  | _ -> ());
   let cfg = config allow in
   let reg = Typereg.build units in
   let graph = Callgraph.build units in
-  let rule_diags = Rules.apply cfg reg graph units in
+  let findings =
+    Rules.apply ?allow_source:allowlist_file cfg reg graph units
+  in
+  let rule_diags = List.map Rules.to_diag findings in
   let report =
     let r =
       D.add_pass D.empty_report "ast/load" ~items:(List.length files)
@@ -81,7 +127,7 @@ let analyze ?(config = fun allow -> Rules.default ~allow ())
     in
     D.add_pass r "ast/rules" ~items:(List.length units) rule_diags
   in
-  { units; report }
+  { units; findings; report; cached }
 
 (* --- fixture corpus ------------------------------------------------- *)
 
@@ -102,6 +148,12 @@ let fixture_config allow =
     kernel_modules = [ "Astlint_fixtures.A3_unsafe.Vetted_kernel" ];
     taint_roots = [ "Astlint_fixtures.A2_taint.root_compute" ];
     rng_scopes = [];
+    domain_scopes = [ fixture_dir ];
+    par_entries =
+      [ "Parallel.map"; "Parallel.map_reduce"; "Parallel.Pool.map";
+        "Stdlib.Domain.spawn" ];
+    lock_brackets = [ "Stdlib.Mutex.protect" ];
+    workspace_specs = [ "Routing.Engine.Workspace.t" ];
     allow;
   }
 
@@ -112,6 +164,9 @@ let expected_rule_of_fixture base =
   else if pre "a3_" then Some (Some Rules.rule_unsafe)
   else if pre "a4_" then Some (Some Rules.rule_float)
   else if pre "a5_" then Some (Some Rules.rule_swallow)
+  else if pre "a6_" then Some (Some Rules.rule_escape)
+  else if pre "a7_" then Some (Some Rules.rule_lock)
+  else if pre "a8_" then Some (Some Rules.rule_epoch)
   else if pre "ok_" then Some None
   else None
 

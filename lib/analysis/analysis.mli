@@ -1,10 +1,11 @@
 (** Typed-AST static analysis over dune's [.cmt] artifacts.
 
     Loads the binary annotations a prior [dune build @check] produced,
-    walks each Typedtree once, builds a type-immediacy registry and an
-    inter-module call graph, and applies the A1–A5 rule catalogue
-    (DESIGN.md §11).  Findings are ordinary {!Check.Diagnostic} values
-    with stable [ast/*] rule ids. *)
+    walks each Typedtree once, builds a type-immediacy registry, an
+    inter-module call graph and a mutex-guard registry, and applies the
+    A1–A8 rule catalogue (DESIGN.md §11, §13).  Findings carry stable
+    [ast/*] rule ids and render as ordinary {!Check.Diagnostic}
+    values. *)
 
 module Syms = Syms
 module Cmt_loader = Cmt_loader
@@ -12,11 +13,14 @@ module Unit_info = Unit_info
 module Typereg = Typereg
 module Allowlist = Allowlist
 module Callgraph = Callgraph
+module Lockreg = Lockreg
 module Rules = Rules
 
 type outcome = {
   units : Unit_info.t list;
+  findings : Rules.finding list;  (** rule findings, sorted *)
   report : Check.Diagnostic.report;
+  cached : int;  (** units served from the digest cache *)
 }
 
 val default_dirs : string list
@@ -25,6 +29,7 @@ val default_dirs : string list
 val analyze :
   ?config:(Allowlist.t -> Rules.config) ->
   ?allowlist_file:string ->
+  ?cache_path:string ->
   root:string ->
   dirs:string list ->
   unit ->
@@ -32,7 +37,9 @@ val analyze :
 (** Scan [root]/[dirs] for [.cmt] files, walk them and apply the rules.
     Unreadable artifacts, an empty scan and allowlist parse errors all
     surface as diagnostics ([ast/cmt-unreadable], [ast/cmt-missing],
-    [ast/allowlist]) rather than exceptions. *)
+    [ast/allowlist]) rather than exceptions.  [cache_path] enables the
+    digest cache: unchanged units are served from the previous run's
+    snapshot and the snapshot is rewritten afterwards. *)
 
 (** {1 Fixture corpus (false-negative guard)} *)
 
@@ -40,8 +47,9 @@ val fixture_dir : string
 (** ["test/fixtures/astlint"] *)
 
 val fixture_config : Allowlist.t -> Rules.config
-(** Scopes, kernel allowlist and taint roots aimed at the deliberately
-    bad fixture corpus instead of the production tree. *)
+(** Scopes, kernel allowlist, taint roots and domain-safety entries
+    aimed at the deliberately bad fixture corpus instead of the
+    production tree. *)
 
 val fixture_failures : outcome -> string list
 (** Every [aN_*.ml] fixture must fire its rule, every [ok_*.ml] must

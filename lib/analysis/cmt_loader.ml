@@ -72,6 +72,91 @@ let locate_build_root () =
       List.find_opt looks_like_root
         [ "_build/default"; "."; ".."; "../.."; "../../.." ]
 
+(* Digest-keyed cache of walked units.  Repeated [dune build @lint]
+   runs mostly see unchanged .cmt artifacts; re-walking every Typedtree
+   each time dominates lint wall-time, and Unit_info facts are plain
+   data (Typereg compares roundtripped type_exprs structurally), so a
+   Marshal snapshot keyed by artifact digest is sound.  Every failure
+   mode — missing file, version skew, torn write — silently degrades to
+   a cold cache. *)
+module Cache = struct
+  type t = {
+    entries : (string, Unit_info.t) Hashtbl.t;
+    live : (string, unit) Hashtbl.t;  (* digests touched this run *)
+  }
+
+  (* Bump the prefix whenever Unit_info.t changes shape; the compiler
+     version guards the embedded Types values. *)
+  let version = "sbgp-astlint-cache-1:" ^ Sys.ocaml_version
+
+  let empty () = { entries = Hashtbl.create 64; live = Hashtbl.create 64 }
+
+  let load ~path =
+    match open_in_bin path with
+    | exception Sys_error _ -> empty ()
+    | ic ->
+        let t =
+          match
+            let len = input_binary_int ic in
+            if len <> String.length version then None
+            else begin
+              let buf = Bytes.create len in
+              really_input ic buf 0 len;
+              if Bytes.to_string buf <> version then None
+              else
+                Some
+                  (Marshal.from_channel ic
+                    : (string, Unit_info.t) Hashtbl.t)
+            end
+          with
+          | Some entries -> { entries; live = Hashtbl.create 64 }
+          | None | (exception _) -> empty ()
+        in
+        close_in_noerr ic;
+        t
+
+  let digest file =
+    match Digest.file file with
+    | d -> Some (Digest.to_hex d)
+    | exception _ -> None
+
+  let lookup t ~digest =
+    match Hashtbl.find_opt t.entries digest with
+    | Some u ->
+        Hashtbl.replace t.live digest ();
+        Some u
+    | None -> None
+
+  let store t ~digest u =
+    Hashtbl.replace t.entries digest u;
+    Hashtbl.replace t.live digest ()
+
+  let save t ~path =
+    (* Keep only this run's entries (prunes units whose sources were
+       deleted or rebuilt), and write via tmp + rename so a concurrent
+       reader never sees a torn file. *)
+    let pruned = Hashtbl.create (max 16 (Hashtbl.length t.live)) in
+    Hashtbl.iter
+      (fun d () ->
+        match Hashtbl.find_opt t.entries d with
+        | Some u -> Hashtbl.replace pruned d u
+        | None -> ())
+      t.live;
+    let tmp = path ^ ".tmp" in
+    match open_out_bin tmp with
+    | exception Sys_error _ -> ()
+    | oc -> (
+        try
+          output_binary_int oc (String.length version);
+          output_string oc version;
+          Marshal.to_channel oc pruned [];
+          close_out oc;
+          Sys.rename tmp path
+        with Sys_error _ ->
+          close_out_noerr oc;
+          (try Sys.remove tmp with Sys_error _ -> ()))
+end
+
 let read file =
   match Cmt_format.read_cmt file with
   | infos ->

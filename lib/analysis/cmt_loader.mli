@@ -27,3 +27,25 @@ val read :
   string -> (unit_file * Cmt_format.cmt_infos, string) result
 (** Read one artifact; [Error] carries the exception text for corrupt or
     version-skewed files. *)
+
+(** Digest-keyed cache of walked {!Unit_info.t} values, so repeated
+    lint runs skip re-walking unchanged units.  Snapshots are keyed by
+    the [.cmt] file digest and versioned by analyzer-format and
+    compiler version; every failure mode (missing file, version skew,
+    torn write) silently degrades to a cold cache. *)
+module Cache : sig
+  type t
+
+  val empty : unit -> t
+  val load : path:string -> t
+
+  val digest : string -> string option
+  (** Hex digest of a file's contents; [None] if unreadable. *)
+
+  val lookup : t -> digest:string -> Unit_info.t option
+  val store : t -> digest:string -> Unit_info.t -> unit
+
+  val save : t -> path:string -> unit
+  (** Persist only the entries touched since [load] (pruning dead
+      units), atomically via tmp + rename.  Failures are silent. *)
+end

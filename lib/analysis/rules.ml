@@ -16,6 +16,23 @@
                             (metric values) — exact float comparison.
    A5 ast/exn-swallow       catch-all or bound-but-ignored exception
                             handlers; Printexc.print_backtrace escapes.
+   A6 ast/domain-escape     mutable state created outside a closure but
+                            written inside one that runs on pool
+                            domains — directly (the write sits under a
+                            Parallel.map/Domain.spawn lambda) or via
+                            call-graph reachability from such a lambda —
+                            without a mutex held, an enclosing lock
+                            bracket, or a disjoint per-item index.
+   A7 ast/lock-discipline   a field inferred to be guarded by a sibling
+                            mutex (Lockreg) touched without that mutex
+                            statically held; raising while holding a
+                            lock without a protect bracket; a lock with
+                            no unlock anywhere in its function.
+   A8 ast/workspace-epoch   an epoch-stamped Workspace value crossing a
+                            parallel-closure boundary instead of being
+                            fetched via Workspace.local () inside.
+   --  ast/allowlist-stale  an allowlist entry that suppressed nothing
+                            this run: the code it vetted has moved.
 
    Every exemption must come from the checked-in allowlist file; the
    diagnostics embed "source:line:" so tests and editors can jump to
@@ -28,6 +45,10 @@ let rule_taint = "ast/determinism-taint"
 let rule_unsafe = "ast/unsafe-access"
 let rule_float = "ast/float-compare"
 let rule_swallow = "ast/exn-swallow"
+let rule_escape = "ast/domain-escape"
+let rule_lock = "ast/lock-discipline"
+let rule_epoch = "ast/workspace-epoch"
+let rule_stale = "ast/allowlist-stale"
 let rule_missing = "ast/cmt-missing"
 let rule_unreadable = "ast/cmt-unreadable"
 let rule_allowlist = "ast/allowlist"
@@ -39,6 +60,12 @@ type config = {
   kernel_modules : string list;  (* A3: Array.unsafe_* permitted here *)
   taint_roots : string list;  (* A2 call-graph roots (symbol specs) *)
   rng_scopes : string list;  (* Random.* permitted here *)
+  domain_scopes : string list;  (* A6/A7/A8 *)
+  par_entries : string list;
+      (* callees whose literal-lambda argument runs on other domains *)
+  lock_brackets : string list;
+      (* callees whose literal-lambda argument runs under a lock *)
+  workspace_specs : string list;  (* A8: epoch-stamped workspace types *)
   allow : Allowlist.t;
 }
 
@@ -56,27 +83,53 @@ let default ?(allow = Allowlist.empty) () =
       [ "Routing.Engine.compute"; "Routing.Reference.*";
         "Metric.H_metric.*"; "Check.Kernel.*" ];
     rng_scopes = [ "lib/rng" ];
+    domain_scopes = [ "lib"; "bin" ];
+    par_entries =
+      [ "Parallel.map"; "Parallel.map_reduce"; "Parallel.Pool.map";
+        "Stdlib.Domain.spawn" ];
+    lock_brackets =
+      [ "Prelude.Shard_cache.with_shard"; "Stdlib.Mutex.protect" ];
+    workspace_specs =
+      [ "Routing.Engine.Workspace.t"; "Routing.Batch.Workspace.t";
+        "Routing.Reference.Workspace.t" ];
     allow;
   }
 
-(* Intermediate findings so the final report can be sorted by
-   (source, line, rule) with a real integer line compare. *)
-type finding = { source : string; line : int; rule : string; text : string }
+(* Structured findings: sortable by (source, line, rule) with a real
+   integer line compare, and carrying the offending symbol so the
+   --json output can annotate CI without re-parsing messages. *)
+type finding = {
+  source : string;
+  line : int;
+  rule : string;
+  symbol : string;
+  text : string;
+}
 
 let strip_stdlib op =
   if String.length op > 7 && String.sub op 0 7 = "Stdlib." then
     String.sub op 7 (String.length op - 7)
   else op
 
-let allowed cfg ~rule sym = Allowlist.permits cfg.allow ~rule sym
+(* Allowlist queries are routed through a context that records which
+   entries actually suppressed (or cut) something — the leftovers are
+   the ast/allowlist-stale findings. *)
+type ctx = { cfg : config; used : (string * string, unit) Hashtbl.t }
 
-let in_kernel cfg sym =
-  List.exists (fun spec -> Syms.spec_matches ~spec sym) cfg.kernel_modules
+let allowed ctx ~rule sym =
+  match Allowlist.find ctx.cfg.allow ~rule sym with
+  | Some e ->
+      Hashtbl.replace ctx.used (e.Allowlist.rule, e.Allowlist.target) ();
+      true
+  | None -> false
+
+let in_kernel ctx sym =
+  List.exists (fun spec -> Syms.spec_matches ~spec sym) ctx.cfg.kernel_modules
 
 (* --- A1 / A4 -------------------------------------------------------- *)
 
-let poly_findings cfg reg (u : Unit_info.t) =
-  if not (Syms.in_scope ~scopes:cfg.hot_scopes u.source) then []
+let poly_findings ctx reg (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.hot_scopes u.source) then []
   else
     List.filter_map
       (fun (o : Unit_info.occurrence) ->
@@ -91,13 +144,14 @@ let poly_findings cfg reg (u : Unit_info.t) =
             match verdict with
             | Typereg.Immediate -> None
             | Typereg.Float ->
-                if allowed cfg ~rule:rule_float o.encl then None
+                if allowed ctx ~rule:rule_float o.encl then None
                 else
                   Some
                     {
                       source = u.source;
                       line = o.line;
                       rule = rule_float;
+                      symbol = o.encl;
                       text =
                         Printf.sprintf
                           "exact float comparison `%s` (in %s); compare \
@@ -105,13 +159,14 @@ let poly_findings cfg reg (u : Unit_info.t) =
                           op o.encl;
                     }
             | Typereg.Boxed desc ->
-                if allowed cfg ~rule:rule_poly o.encl then None
+                if allowed ctx ~rule:rule_poly o.encl then None
                 else
                   Some
                     {
                       source = u.source;
                       line = o.line;
                       rule = rule_poly;
+                      symbol = o.encl;
                       text =
                         Printf.sprintf
                           "polymorphic `%s` on %s (in %s); use a \
@@ -119,13 +174,14 @@ let poly_findings cfg reg (u : Unit_info.t) =
                           op desc o.encl;
                     }
             | Typereg.Polymorphic ->
-                if allowed cfg ~rule:rule_poly o.encl then None
+                if allowed ctx ~rule:rule_poly o.encl then None
                 else
                   Some
                     {
                       source = u.source;
                       line = o.line;
                       rule = rule_poly;
+                      symbol = o.encl;
                       text =
                         Printf.sprintf
                           "`%s` kept polymorphic (alias or higher-order \
@@ -138,33 +194,35 @@ let poly_findings cfg reg (u : Unit_info.t) =
 
 (* --- A2 ------------------------------------------------------------- *)
 
-let taint_findings cfg graph units =
+let taint_findings ctx graph units =
   let hashtbl_mods =
     List.concat_map (fun u -> u.Unit_info.hashtbl_mods) units
   in
   let rng_sym sym =
     match Callgraph.source_of graph sym with
-    | Some src -> Syms.in_scope ~scopes:cfg.rng_scopes src
+    | Some src -> Syms.in_scope ~scopes:ctx.cfg.rng_scopes src
     | None -> false
   in
   (* (a) primitives written directly in determinism-critical modules *)
   let direct =
     List.concat_map
       (fun (u : Unit_info.t) ->
-        if not (Syms.in_scope ~scopes:cfg.hot_scopes u.source) then []
+        if not (Syms.in_scope ~scopes:ctx.cfg.hot_scopes u.source) then []
         else
           List.filter_map
             (fun (o : Unit_info.occurrence) ->
               match o.kind with
               | Unit_info.Nondet_prim name
-                when (not (allowed cfg ~rule:rule_taint o.encl))
+                when (not (allowed ctx ~rule:rule_taint o.encl))
                      && not
-                          (Syms.in_scope ~scopes:cfg.rng_scopes u.source) ->
+                          (Syms.in_scope ~scopes:ctx.cfg.rng_scopes u.source)
+                ->
                   Some
                     {
                       source = u.source;
                       line = o.line;
                       rule = rule_taint;
+                      symbol = o.encl;
                       text =
                         Printf.sprintf
                           "nondeterministic primitive %s in \
@@ -177,8 +235,8 @@ let taint_findings cfg graph units =
   in
   (* (b) primitives reachable from the determinism roots *)
   let reach =
-    Callgraph.reachable graph ~roots:cfg.taint_roots
-      ~cut:(allowed cfg ~rule:rule_taint)
+    Callgraph.reachable graph ~roots:ctx.cfg.taint_roots
+      ~cut:(allowed ctx ~rule:rule_taint)
   in
   let seen = Hashtbl.create 32 in
   let via_graph =
@@ -205,6 +263,7 @@ let taint_findings cfg graph units =
                     source;
                     line;
                     rule = rule_taint;
+                    symbol = sym;
                     text =
                       Printf.sprintf
                         "determinism root reaches %s via %s"
@@ -220,8 +279,8 @@ let taint_findings cfg graph units =
 
 (* --- A3 ------------------------------------------------------------- *)
 
-let unsafe_findings cfg (u : Unit_info.t) =
-  if not (Syms.in_scope ~scopes:cfg.unsafe_scopes u.source) then []
+let unsafe_findings ctx (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.unsafe_scopes u.source) then []
   else
     List.filter_map
       (fun (o : Unit_info.occurrence) ->
@@ -229,8 +288,8 @@ let unsafe_findings cfg (u : Unit_info.t) =
         | Unit_info.Unsafe_access name ->
             let magic = name = "Stdlib.Obj.magic" in
             if
-              ((not magic) && in_kernel cfg o.encl)
-              || allowed cfg ~rule:rule_unsafe o.encl
+              ((not magic) && in_kernel ctx o.encl)
+              || allowed ctx ~rule:rule_unsafe o.encl
             then None
             else
               Some
@@ -238,6 +297,7 @@ let unsafe_findings cfg (u : Unit_info.t) =
                   source = u.source;
                   line = o.line;
                   rule = rule_unsafe;
+                  symbol = o.encl;
                   text =
                     (if magic then
                        Printf.sprintf
@@ -252,23 +312,376 @@ let unsafe_findings cfg (u : Unit_info.t) =
 
 (* --- A5 ------------------------------------------------------------- *)
 
-let swallow_findings cfg (u : Unit_info.t) =
-  if not (Syms.in_scope ~scopes:cfg.swallow_scopes u.source) then []
+let swallow_findings ctx (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.swallow_scopes u.source) then []
   else
     List.filter_map
       (fun (o : Unit_info.occurrence) ->
         match o.kind with
         | Unit_info.Exn_swallow detail
-          when not (allowed cfg ~rule:rule_swallow o.encl) ->
+          when not (allowed ctx ~rule:rule_swallow o.encl) ->
             Some
               {
                 source = u.source;
                 line = o.line;
                 rule = rule_swallow;
+                symbol = o.encl;
                 text = Printf.sprintf "%s (in %s)" detail o.encl;
               }
         | _ -> None)
       u.occs
+
+(* --- A6 ------------------------------------------------------------- *)
+
+(* 1-based position (outermost-first) of the first enclosing lambda
+   that is a direct argument of a parallel entry point. *)
+let par_pos ctx lambdas =
+  let hit h =
+    List.exists (fun spec -> Syms.spec_matches ~spec h) ctx.cfg.par_entries
+  in
+  let rec go i = function
+    | [] -> None
+    | Some h :: _ when hit h -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 1 lambdas
+
+(* Is any enclosing lambda strictly deeper than [after] the argument of
+   a configured lock bracket?  [after = 0] means "anywhere". *)
+let bracketed ctx ~after lambdas =
+  let hit h =
+    List.exists (fun spec -> Syms.spec_matches ~spec h) ctx.cfg.lock_brackets
+  in
+  let rec go i = function
+    | [] -> false
+    | Some h :: rest -> (i > after && hit h) || go (i + 1) rest
+    | None :: rest -> go (i + 1) rest
+  in
+  go 1 lambdas
+
+let is_write (s : Unit_info.sort) =
+  match s with
+  | Unit_info.Ref_write _ | Unit_info.Field_write _ | Unit_info.Array_write _
+    ->
+      true
+  | Unit_info.Container_op { write; _ } -> write
+  | Unit_info.Field_read _ -> false
+
+let access_desc (a : Unit_info.access) =
+  let sortd =
+    match a.Unit_info.sort with
+    | Unit_info.Ref_write op -> Printf.sprintf "ref write (`%s`)" op
+    | Unit_info.Field_write { rectype; field } ->
+        Printf.sprintf "write to mutable field %s.%s" rectype field
+    | Unit_info.Field_read { rectype; field } ->
+        Printf.sprintf "read of mutable field %s.%s" rectype field
+    | Unit_info.Array_write _ -> "array-cell write"
+    | Unit_info.Container_op { op; _ } -> Printf.sprintf "`%s`" op
+  in
+  match a.Unit_info.subject with
+  | Unit_info.Global s -> Printf.sprintf "%s on global %s" sortd s
+  | Unit_info.Local _ ->
+      Printf.sprintf "%s on state captured from an outer scope" sortd
+  | Unit_info.Unknown -> sortd
+
+(* (a) writes syntactically inside a parallel closure *)
+let escape_direct ctx (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.domain_scopes u.source) then []
+  else
+    List.filter_map
+      (fun (a : Unit_info.access) ->
+        match par_pos ctx a.lambdas with
+        | None -> None
+        | Some p ->
+            let captured =
+              match a.subject with
+              | Unit_info.Local d -> d < p
+              | Unit_info.Global _ -> true
+              | Unit_info.Unknown -> false
+            in
+            let disjoint =
+              match a.sort with
+              | Unit_info.Array_write { idx_depth } -> idx_depth >= p
+              | _ -> false
+            in
+            let guarded =
+              List.exists (fun (_, d) -> d >= p) a.held
+              || bracketed ctx ~after:p a.lambdas
+            in
+            if
+              captured && is_write a.sort && (not disjoint) && (not guarded)
+              && not (allowed ctx ~rule:rule_escape a.a_encl)
+            then
+              Some
+                {
+                  source = u.source;
+                  line = a.a_line;
+                  rule = rule_escape;
+                  symbol = a.a_encl;
+                  text =
+                    Printf.sprintf
+                      "%s inside a parallel closure (in %s); mediate with \
+                       a mutex, Atomic, Domain.DLS, or a disjoint per-item \
+                       index"
+                      (access_desc a) a.a_encl;
+                }
+            else None)
+      u.accesses
+
+(* (b) unguarded writes to global state in functions reachable from a
+   parallel closure via the call graph *)
+let escape_reach ctx graph units =
+  let origin = Hashtbl.create 32 in
+  List.iter
+    (fun (u : Unit_info.t) ->
+      if Syms.in_scope ~scopes:ctx.cfg.domain_scopes u.source then
+        List.iter
+          (fun (e : Unit_info.edge) ->
+            match par_pos ctx e.lambdas with
+            | Some _ when not (Hashtbl.mem origin e.target) ->
+                Hashtbl.replace origin e.target e.from_
+            | _ -> ())
+          u.edges)
+    units;
+  let roots =
+    Hashtbl.fold (fun k _ acc -> k :: acc) origin []
+    |> List.sort String.compare
+  in
+  if roots = [] then []
+  else begin
+    let reach =
+      Callgraph.reachable graph ~roots ~cut:(allowed ctx ~rule:rule_escape)
+    in
+    let by_encl = Hashtbl.create 128 in
+    List.iter
+      (fun (u : Unit_info.t) ->
+        List.iter
+          (fun (a : Unit_info.access) ->
+            let cur =
+              match Hashtbl.find_opt by_encl a.a_encl with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace by_encl a.a_encl ((u.source, a) :: cur))
+          u.accesses)
+      units;
+    let seen = Hashtbl.create 16 in
+    List.concat_map
+      (fun sym ->
+        let accs =
+          match Hashtbl.find_opt by_encl sym with
+          | Some l -> List.rev l
+          | None -> []
+        in
+        List.filter_map
+          (fun (source, (a : Unit_info.access)) ->
+            let global_state =
+              match a.subject with
+              | Unit_info.Global _ | Unit_info.Local 0 -> true
+              | _ -> false
+            in
+            if
+              global_state && is_write a.sort && a.held = []
+              && (not (bracketed ctx ~after:0 a.lambdas))
+              (* writes directly under a parallel closure are covered by
+                 the direct scan above *)
+              && par_pos ctx a.lambdas = None
+              && not (Hashtbl.mem seen (sym, a.a_line))
+            then begin
+              Hashtbl.replace seen (sym, a.a_line) ();
+              let chain = Callgraph.chain reach sym in
+              let par_encl =
+                match chain with
+                | root :: _ -> (
+                    match Hashtbl.find_opt origin root with
+                    | Some e -> e
+                    | None -> root)
+                | [] -> sym
+              in
+              Some
+                {
+                  source;
+                  line = a.a_line;
+                  rule = rule_escape;
+                  symbol = sym;
+                  text =
+                    Printf.sprintf
+                      "%s, reachable from a parallel closure in %s via %s; \
+                       mediate with a mutex, Atomic or Domain.DLS"
+                      (access_desc a) par_encl
+                      (String.concat " -> " chain);
+                }
+            end
+            else None)
+          accs)
+      reach.Callgraph.order
+  end
+
+(* --- A7 ------------------------------------------------------------- *)
+
+let lock_findings ctx lockreg (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.domain_scopes u.source) then []
+  else begin
+    let unguarded =
+      List.filter_map
+        (fun (a : Unit_info.access) ->
+          let finfo =
+            match a.sort with
+            | Unit_info.Field_write { rectype; field } ->
+                Some (rectype, field, true)
+            | Unit_info.Field_read { rectype; field } ->
+                Some (rectype, field, false)
+            | Unit_info.Container_op { field = Some (rectype, field); write; _ }
+              ->
+                Some (rectype, field, write)
+            | _ -> None
+          in
+          match finfo with
+          | None -> None
+          | Some (rectype, field, write) -> (
+              match Lockreg.guard lockreg ~rectype ~field with
+              | None -> None
+              | Some mutex_field ->
+                  let descr = rectype ^ "." ^ mutex_field in
+                  let guarded =
+                    List.exists (fun (d, _) -> d = descr) a.held
+                    || bracketed ctx ~after:0 a.lambdas
+                  in
+                  if guarded || allowed ctx ~rule:rule_lock a.a_encl then None
+                  else
+                    Some
+                      {
+                        source = u.source;
+                        line = a.a_line;
+                        rule = rule_lock;
+                        symbol = a.a_encl;
+                        text =
+                          Printf.sprintf
+                            "%s %s.%s without holding %s (in %s)"
+                            (if write then "write to" else "read of")
+                            rectype field descr a.a_encl;
+                      }))
+        u.accesses
+    in
+    let raises =
+      List.filter_map
+        (fun (l : Unit_info.lock_occ) ->
+          match l.ev with
+          | Unit_info.Raise_locked { locks; what }
+            when not (allowed ctx ~rule:rule_lock l.l_encl) ->
+              Some
+                {
+                  source = u.source;
+                  line = l.l_line;
+                  rule = rule_lock;
+                  symbol = l.l_encl;
+                  text =
+                    Printf.sprintf
+                      "`%s` while holding %s (in %s): the lock leaks on \
+                       this exception path — use Mutex.protect or \
+                       Fun.protect ~finally"
+                      what
+                      (String.concat ", " locks)
+                      l.l_encl;
+                }
+          | _ -> None)
+        u.locks
+    in
+    let pairs = Hashtbl.create 8 in
+    List.iter
+      (fun (l : Unit_info.lock_occ) ->
+        let acqs, rels =
+          match Hashtbl.find_opt pairs l.l_encl with
+          | Some v -> v
+          | None -> ([], [])
+        in
+        match l.ev with
+        | Unit_info.Acquire d ->
+            Hashtbl.replace pairs l.l_encl ((d, l.l_line) :: acqs, rels)
+        | Unit_info.Release d ->
+            Hashtbl.replace pairs l.l_encl (acqs, d :: rels)
+        | Unit_info.Raise_locked _ -> ())
+      u.locks;
+    let leaks =
+      Hashtbl.fold
+        (fun encl (acqs, rels) acc ->
+          if allowed ctx ~rule:rule_lock encl then acc
+          else
+            List.fold_left
+              (fun acc (d, ln) ->
+                if List.mem d rels then acc
+                else
+                  {
+                    source = u.source;
+                    line = ln;
+                    rule = rule_lock;
+                    symbol = encl;
+                    text =
+                      Printf.sprintf "%s locked but never unlocked in %s" d
+                        encl;
+                  }
+                  :: acc)
+              acc (List.rev acqs))
+        pairs []
+    in
+    unguarded @ raises @ leaks
+  end
+
+(* --- A8 ------------------------------------------------------------- *)
+
+let epoch_findings ctx (u : Unit_info.t) =
+  if not (Syms.in_scope ~scopes:ctx.cfg.domain_scopes u.source) then []
+  else
+    List.filter_map
+      (fun (c : Unit_info.capture) ->
+        if
+          not
+            (List.exists
+               (fun spec -> Syms.spec_matches ~spec c.tyhead)
+               ctx.cfg.workspace_specs)
+        then None
+        else
+          match par_pos ctx c.c_lambdas with
+          | Some p when c.depth < p ->
+              if allowed ctx ~rule:rule_epoch c.c_encl then None
+              else
+                Some
+                  {
+                    source = u.source;
+                    line = c.c_line;
+                    rule = rule_epoch;
+                    symbol = c.c_encl;
+                    text =
+                      Printf.sprintf
+                        "workspace `%s` (%s) crosses a parallel-closure \
+                         boundary (in %s); fetch the domain's own with \
+                         Workspace.local () inside the closure"
+                        c.name c.tyhead c.c_encl;
+                  }
+          | _ -> None)
+      u.captures
+
+(* --- stale allowlist entries ---------------------------------------- *)
+
+let stale_findings ctx ~allow_source =
+  List.filter_map
+    (fun (e : Allowlist.entry) ->
+      if Hashtbl.mem ctx.used (e.rule, e.target) then None
+      else
+        Some
+          {
+            source = allow_source;
+            line = e.line;
+            rule = rule_stale;
+            symbol = e.target;
+            text =
+              Printf.sprintf
+                "allowlist entry `%s %s` suppressed nothing this run — \
+                 the code it vetted has moved; remove or update it \
+                 (reason was: %s)"
+                e.rule e.target e.reason;
+          })
+    ctx.cfg.allow.Allowlist.entries
 
 (* --- driver --------------------------------------------------------- *)
 
@@ -285,11 +698,21 @@ let compare_finding a b =
 let to_diag f =
   D.error ~rule:f.rule (Printf.sprintf "%s:%d: %s" f.source f.line f.text)
 
-let apply cfg reg graph units =
+let apply ?(allow_source = "tools/astlint/allowlist.txt") cfg reg graph units
+    =
+  let ctx = { cfg; used = Hashtbl.create 16 } in
+  let lockreg = Lockreg.build units in
   let findings =
-    List.concat_map (poly_findings cfg reg) units
-    @ taint_findings cfg graph units
-    @ List.concat_map (unsafe_findings cfg) units
-    @ List.concat_map (swallow_findings cfg) units
+    List.concat_map (poly_findings ctx reg) units
+    @ taint_findings ctx graph units
+    @ List.concat_map (unsafe_findings ctx) units
+    @ List.concat_map (swallow_findings ctx) units
+    @ List.concat_map (escape_direct ctx) units
+    @ escape_reach ctx graph units
+    @ List.concat_map (lock_findings ctx lockreg) units
+    @ List.concat_map (epoch_findings ctx) units
   in
-  List.map to_diag (List.sort_uniq compare_finding findings)
+  (* Stale detection must run after every other rule so the used-entry
+     table is complete. *)
+  let findings = findings @ stale_findings ctx ~allow_source in
+  List.sort_uniq compare_finding findings

@@ -10,13 +10,28 @@
       kernels; [Obj.magic] anywhere.
     - A4 [ast/float-compare]: polymorphic comparison instantiated at
       [float].
-    - A5 [ast/exn-swallow]: catch-all or ignored-exception handlers. *)
+    - A5 [ast/exn-swallow]: catch-all or ignored-exception handlers.
+    - A6 [ast/domain-escape]: mutable state created outside but written
+      inside a closure that runs on pool domains, with no mutex held,
+      lock bracket, or disjoint per-item index — checked both directly
+      and through call-graph reachability from the parallel entry.
+    - A7 [ast/lock-discipline]: accesses to fields inferred (by
+      {!Lockreg}) to be mutex-guarded without the mutex statically
+      held; raising while holding a lock; lock with no unlock.
+    - A8 [ast/workspace-epoch]: epoch-stamped [Workspace] values
+      crossing a parallel-closure boundary.
+    - [ast/allowlist-stale]: allowlist entries that suppressed nothing
+      this run. *)
 
 val rule_poly : string
 val rule_taint : string
 val rule_unsafe : string
 val rule_float : string
 val rule_swallow : string
+val rule_escape : string
+val rule_lock : string
+val rule_epoch : string
+val rule_stale : string
 val rule_missing : string
 val rule_unreadable : string
 val rule_allowlist : string
@@ -28,16 +43,33 @@ type config = {
   kernel_modules : string list;
   taint_roots : string list;
   rng_scopes : string list;
+  domain_scopes : string list;
+  par_entries : string list;
+  lock_brackets : string list;
+  workspace_specs : string list;
   allow : Allowlist.t;
 }
 
 val default : ?allow:Allowlist.t -> unit -> config
 
+type finding = {
+  source : string;
+  line : int;
+  rule : string;
+  symbol : string;  (** offending enclosing symbol (or allowlist target) *)
+  text : string;
+}
+
+val to_diag : finding -> Check.Diagnostic.t
+(** Render as an error whose message begins with ["<source>:<line>: "]. *)
+
 val apply :
+  ?allow_source:string ->
   config ->
   Typereg.t ->
   Callgraph.t ->
   Unit_info.t list ->
-  Check.Diagnostic.t list
-(** Findings sorted by (source, line, rule); each message begins with
-    ["<source>:<line>: "]. *)
+  finding list
+(** Findings sorted by (source, line, rule).  [allow_source] is the
+    path reported for [ast/allowlist-stale] findings (default
+    ["tools/astlint/allowlist.txt"]). *)

@@ -4,9 +4,13 @@
    judge: polymorphic-comparison uses with the instantiated subject
    type, unsafe-access and nondeterministic-primitive identifiers,
    exception-swallowing handlers, the value-level call edges that feed
-   the inter-module call graph, and the type declarations that feed the
-   immediacy registry.  Scoping (which directories a rule covers) and
-   the allowlist are applied downstream in {!Rules} — the walk itself is
+   the inter-module call graph, the type declarations that feed the
+   immediacy registry — and, for the domain-safety rules (A6–A8), every
+   write/read of mutable state with its enclosing-lambda context and
+   the set of mutexes statically held at the site, the lock/unlock/
+   raise-while-locked event stream, and workspace-typed value uses
+   inside closures.  Scoping (which directories a rule covers) and the
+   allowlist are applied downstream in {!Rules} — the walk itself is
    identical for library code and for the deliberately-bad fixture
    corpus.
 
@@ -17,7 +21,22 @@
    per-unit alias map and the set of toplevel values defined so far
    (OCaml values cannot be forward-referenced, so "so far" is exact up
    to mutually recursive bindings, which are pre-registered per
-   group). *)
+   group).
+
+   Lambda/lock model.  [lam_stack] holds the enclosing literal lambdas
+   outermost-first; a lambda that is a direct argument of an
+   application is tagged with the callee's canonical name (so the rules
+   can spot [Parallel.map (fun item -> ...)]), any other lambda with
+   [None].  Every binder is recorded at the lambda depth of its
+   introduction, keyed by [Ident.unique_name] (stamped, so shadowing
+   needs no scope tracking).  [held] is the list of mutex descriptors
+   acquired on the current straight-line path, updated in traversal
+   order and saved/restored around branches and lambda bodies; a
+   closure therefore inherits the locks lexically held where it is
+   written — which matches the common [lock; let work = fun ... in
+   work (); unlock] shape and is deliberately unsound for closures
+   stored and run later (DESIGN.md §13 lists that as a known
+   false-negative direction, covered by the runtime replays). *)
 
 open Typedtree
 
@@ -31,7 +50,54 @@ type kind =
   | Exn_swallow of string
 
 type occurrence = { kind : kind; encl : string; line : int }
-type edge = { from_ : string; target : string; line : int }
+
+type edge = {
+  from_ : string;
+  target : string;
+  line : int;
+  lambdas : string option list;
+}
+
+type subject =
+  | Local of int
+  | Global of string
+  | Unknown
+
+type sort =
+  | Ref_write of string
+  | Field_write of { rectype : string; field : string }
+  | Field_read of { rectype : string; field : string }
+  | Array_write of { idx_depth : int }
+  | Container_op of {
+      op : string;
+      write : bool;
+      field : (string * string) option;
+    }
+
+type access = {
+  sort : sort;
+  subject : subject;
+  lambdas : string option list;
+  held : (string * int) list;
+  a_encl : string;
+  a_line : int;
+}
+
+type lock_event =
+  | Acquire of string
+  | Release of string
+  | Raise_locked of { locks : string list; what : string }
+
+type lock_occ = { ev : lock_event; l_encl : string; l_line : int }
+
+type capture = {
+  name : string;
+  tyhead : string;
+  depth : int;
+  c_lambdas : string option list;
+  c_encl : string;
+  c_line : int;
+}
 
 type t = {
   modname : string;
@@ -41,6 +107,9 @@ type t = {
   occs : occurrence list;
   tydecls : (string * Types.type_declaration) list;
   hashtbl_mods : string list;
+  accesses : access list;
+  locks : lock_occ list;
+  captures : capture list;
 }
 
 (* --- identifier tables (Stdlib facts, not policy) ------------------- *)
@@ -78,6 +147,68 @@ let hashtbl_functors =
     "Stdlib.MoreLabels.Hashtbl.Make";
   ]
 
+let raiser_idents =
+  [
+    "Stdlib.raise"; "Stdlib.raise_notrace"; "Stdlib.failwith";
+    "Stdlib.invalid_arg";
+  ]
+
+(* Mutation vocabulary for the domain-safety facts.  [Atomic.*] is
+   deliberately absent: atomics are one of the accepted mediations. *)
+
+let ref_write_ops =
+  [ ("Stdlib.:=", ":="); ("Stdlib.incr", "incr"); ("Stdlib.decr", "decr") ]
+
+(* (name, subject position, index position) — the disjoint-index
+   exemption only makes sense for single-cell writes. *)
+let indexed_write_ops =
+  [
+    ("Stdlib.Array.set", 0, 1); ("Stdlib.Array.unsafe_set", 0, 1);
+    ("Stdlib.Bytes.set", 0, 1); ("Stdlib.Bytes.unsafe_set", 0, 1);
+  ]
+
+(* (op, subject position, mutates) per container module.  Reads are
+   recorded too: the lock-discipline rule guards reads of mutex-sibling
+   fields as well as writes. *)
+let hashtbl_ops =
+  [
+    ("replace", 0, true); ("add", 0, true); ("remove", 0, true);
+    ("reset", 0, true); ("clear", 0, true); ("filter_map_inplace", 1, true);
+    ("find", 0, false); ("find_opt", 0, false); ("find_all", 0, false);
+    ("mem", 0, false); ("length", 0, false); ("copy", 0, false);
+    ("iter", 1, false); ("fold", 1, false);
+  ]
+
+let module_ops =
+  [
+    ( "Stdlib.Buffer",
+      [
+        ("add_char", 0, true); ("add_string", 0, true);
+        ("add_bytes", 0, true); ("add_substring", 0, true);
+        ("add_buffer", 0, true); ("clear", 0, true); ("reset", 0, true);
+        ("truncate", 0, true); ("contents", 0, false); ("length", 0, false);
+      ] );
+    ( "Stdlib.Queue",
+      [
+        ("push", 1, true); ("add", 1, true); ("pop", 0, true);
+        ("take", 0, true); ("clear", 0, true); ("transfer", 0, true);
+        ("peek", 0, false); ("top", 0, false); ("length", 0, false);
+        ("is_empty", 0, false); ("iter", 1, false);
+      ] );
+    ( "Stdlib.Stack",
+      [
+        ("push", 1, true); ("pop", 0, true); ("clear", 0, true);
+        ("top", 0, false); ("length", 0, false); ("is_empty", 0, false);
+        ("iter", 1, false);
+      ] );
+    ( "Stdlib.Array",
+      [
+        ("fill", 0, true); ("blit", 2, true); ("sort", 1, true);
+        ("stable_sort", 1, true); ("fast_sort", 1, true);
+      ] );
+    ("Stdlib.Bytes", [ ("fill", 0, true); ("blit", 2, true) ]);
+  ]
+
 let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
@@ -97,6 +228,40 @@ let is_nondet ~hashtbl_mods name =
   List.mem op unordered_table_ops
   && (base = "Stdlib.Hashtbl" || List.mem base hashtbl_mods)
 
+type mut =
+  | Mut_ref of string
+  | Mut_indexed of int * int
+  | Mut_container of string * int * bool
+
+let classify_mut ~hashtbl_mods name =
+  match List.assoc_opt name ref_write_ops with
+  | Some op -> Some (Mut_ref op)
+  | None -> (
+      match
+        List.find_opt (fun (n, _, _) -> n = name) indexed_write_ops
+      with
+      | Some (_, s, i) -> Some (Mut_indexed (s, i))
+      | None -> (
+          let base, op = split_last name in
+          let ops =
+            if base = "Stdlib.Hashtbl" || List.mem base hashtbl_mods then
+              Some hashtbl_ops
+            else List.assoc_opt base module_ops
+          in
+          match ops with
+          | None -> None
+          | Some ops -> (
+              match List.find_opt (fun (o, _, _) -> o = op) ops with
+              | Some (_, pos, write) ->
+                  let _, short = split_last base in
+                  Some (Mut_container (short ^ "." ^ op, pos, write))
+              | None -> None)))
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
 (* --- helpers -------------------------------------------------------- *)
 
 let arrow_lhs ty =
@@ -113,6 +278,23 @@ let rec binding_name (p : pattern) =
   | Tpat_record (fields, _) ->
       List.find_map (fun (_, _, p) -> binding_name p) fields
   | _ -> None
+
+let rec pat_vars (p : pattern) =
+  match p.pat_desc with
+  | Tpat_var (id, _) -> [ id ]
+  | Tpat_alias (q, id, _) -> id :: pat_vars q
+  | Tpat_tuple ps | Tpat_construct (_, _, ps, _) | Tpat_array ps ->
+      List.concat_map pat_vars ps
+  | Tpat_record (fields, _) ->
+      List.concat_map (fun (_, _, q) -> pat_vars q) fields
+  | Tpat_variant (_, Some q, _) | Tpat_lazy q -> pat_vars q
+  | Tpat_or (a, b, _) -> pat_vars a @ pat_vars b
+  | Tpat_any | Tpat_constant _ | Tpat_variant (_, None, _) -> []
+
+let comp_pat_vars p =
+  let v, e = Typedtree.split_pattern p in
+  (match v with Some q -> pat_vars q | None -> [])
+  @ (match e with Some q -> pat_vars q | None -> [])
 
 let rec pat_catches_all (p : pattern) =
   match p.pat_desc with
@@ -145,21 +327,38 @@ let uses_of_ident id expr0 guard =
   (match guard with Some g -> it.expr it g | None -> ());
   !count
 
+let pos_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+    args
+
+let nth_pos args k = List.nth_opt (pos_args args) k
+
 (* --- the walk ------------------------------------------------------- *)
 
 let walk ~modname ~source str =
   let modname = Syms.canon_string modname in
   let defs_tbl = Hashtbl.create 64 in
+  let tydefs_tbl = Hashtbl.create 32 in
   let defs = ref [] in
   let edges = ref [] in
   let occs = ref [] in
   let tydecls = ref [] in
   let hashtbl_mods = ref [] in
+  let accesses = ref [] in
+  let locks = ref [] in
+  let captures = ref [] in
   let local_modules : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let stack = ref [] in
   let prefix () = String.concat "." (modname :: List.rev !stack) in
   let cur = ref (modname ^ ".(init)") in
   let line (loc : Location.t) = loc.loc_start.pos_lnum in
+  (* Domain-safety context. *)
+  let lam_stack = ref ([] : string option list) in
+  let depth () = List.length !lam_stack in
+  let binder : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let held = ref ([] : (string * int) list) in
+  let protected = ref ([] : string list) in
   let add_def sym =
     if not (Hashtbl.mem defs_tbl sym) then begin
       Hashtbl.replace defs_tbl sym ();
@@ -168,21 +367,177 @@ let walk ~modname ~source str =
   in
   let resolve_local head = Hashtbl.find_opt local_modules head in
   let canon p = Syms.canon_path ~resolve:resolve_local p in
-  (* A [Pident] value reference: resolve against the unit's own
-     definitions, innermost module first. *)
-  let resolve_value name =
+  (* A [Pident] reference: resolve against the unit's own definitions,
+     innermost module first.  [resolve_in] is shared between the value
+     table and the type-name table. *)
+  let resolve_in tbl name =
     let rec up = function
       | [] -> None
       | comps ->
           let sym = String.concat "." (List.rev comps) ^ "." ^ name in
-          if Hashtbl.mem defs_tbl sym then Some sym
-          else up (List.tl comps)
+          if Hashtbl.mem tbl sym then Some sym else up (List.tl comps)
     in
     up (List.rev (modname :: List.rev !stack))
   in
+  let resolve_value = resolve_in defs_tbl in
+  let resolve_tyname = resolve_in tydefs_tbl in
   let add_occ kind loc = occs := { kind; encl = !cur; line = line loc } :: !occs in
   let add_edge target loc =
-    edges := { from_ = !cur; target; line = line loc } :: !edges
+    edges :=
+      {
+        from_ = !cur;
+        target;
+        line = line loc;
+        lambdas = List.rev !lam_stack;
+      }
+      :: !edges
+  in
+  let add_access sort subject loc =
+    accesses :=
+      {
+        sort;
+        subject;
+        lambdas = List.rev !lam_stack;
+        held = !held;
+        a_encl = !cur;
+        a_line = line loc;
+      }
+      :: !accesses
+  in
+  let add_lock ev loc =
+    locks := { ev; l_encl = !cur; l_line = line loc } :: !locks
+  in
+  let register_binders d ids =
+    List.iter
+      (fun id -> Hashtbl.replace binder (Ident.unique_name id) d)
+      ids
+  in
+  (* Canonical head of a [Tconstr] type, resolving unit-local type
+     names ([Pool.t] inside [parallel.ml] -> ["Parallel.Pool.t"]). *)
+  let ty_head ty =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) ->
+        let n = canon p in
+        if String.contains n '.' then Some n
+        else Some (match resolve_tyname n with Some s -> s | None -> n)
+    | _ -> None
+  in
+  let rectype_of (ld : Types.label_description) =
+    match ty_head ld.lbl_res with Some h -> h | None -> "?"
+  in
+  let rec subject_of (e : expression) =
+    match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> (
+        let u = Ident.unique_name id in
+        match Hashtbl.find_opt binder u with
+        | Some d when d > 0 -> Local d
+        | Some _ | None -> (
+            match resolve_value (Ident.name id) with
+            | Some sym -> Global sym
+            | None -> (
+                match Hashtbl.find_opt binder u with
+                | Some d -> Local d
+                | None -> Unknown)))
+    | Texp_ident (p, _, _) -> Global (canon p)
+    | Texp_field (b, _, _) -> subject_of b
+    | _ -> Unknown
+  in
+  (* Mutex descriptor: a field access names "<rectype>.<field>" (which
+     is what the guard registry pairs with the sibling mutex), an ident
+     its canonical or stamped-unique name. *)
+  let lock_descr (e : expression) =
+    match e.exp_desc with
+    | Texp_field (_, _, ld) -> Some (rectype_of ld ^ "." ^ ld.lbl_name)
+    | Texp_ident (Path.Pident id, _, _) -> (
+        match resolve_value (Ident.name id) with
+        | Some sym -> Some sym
+        | None -> Some (Ident.unique_name id))
+    | Texp_ident (p, _, _) -> Some (canon p)
+    | _ -> None
+  in
+  let remove_held d =
+    let rec go = function
+      | [] -> []
+      | (d', _) :: rest when d' = d -> rest
+      | x :: rest -> x :: go rest
+    in
+    held := go !held
+  in
+  let rec drop n l =
+    if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+  in
+  (* Minimum binder depth of any variable in an index expression:
+     [max_int] for constants, 0 when a global participates. *)
+  let min_binder_depth e0 =
+    let m = ref max_int in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun sub e ->
+            (match e.exp_desc with
+            | Texp_ident (Path.Pident id, _, _) ->
+                let d =
+                  match Hashtbl.find_opt binder (Ident.unique_name id) with
+                  | Some d -> d
+                  | None -> 0
+                in
+                if d < !m then m := d
+            | Texp_ident _ -> m := 0
+            | _ -> ());
+            Tast_iterator.default_iterator.expr sub e);
+      }
+    in
+    it.expr it e0;
+    !m
+  in
+  (* Mutexes unlocked anywhere inside a [~finally] thunk. *)
+  let unlocks_in e0 =
+    let acc = ref [] in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun sub e ->
+            (match e.exp_desc with
+            | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+              when canon p = "Stdlib.Mutex.unlock" -> (
+                match nth_pos args 0 with
+                | Some a -> (
+                    match lock_descr a with
+                    | Some d -> acc := d :: !acc
+                    | None -> ())
+                | None -> ())
+            | _ -> ());
+            Tast_iterator.default_iterator.expr sub e);
+      }
+    in
+    it.expr it e0;
+    List.rev !acc
+  in
+  let maybe_capture p (e : expression) =
+    if !lam_stack <> [] then
+      match ty_head e.exp_type with
+      | Some h when contains_sub ~sub:"Workspace" h ->
+          let dep =
+            match p with
+            | Path.Pident id -> (
+                match Hashtbl.find_opt binder (Ident.unique_name id) with
+                | Some d -> d
+                | None -> 0)
+            | _ -> 0
+          in
+          captures :=
+            {
+              name = Path.last p;
+              tyhead = h;
+              depth = dep;
+              c_lambdas = List.rev !lam_stack;
+              c_encl = !cur;
+              c_line = line e.exp_loc;
+            }
+            :: !captures
+      | _ -> ()
   in
   (* Classify one resolved global identifier; [subject] only matters for
      polymorphic comparisons. *)
@@ -242,9 +597,23 @@ let walk ~modname ~source str =
           | _ -> ())
       cases
   in
-  let expr sub e =
+  let head_of (fexp : expression) =
+    match fexp.exp_desc with
+    | Texp_ident (p, _, _) ->
+        let n = canon p in
+        if String.contains n '.' then Some n
+        else (
+          match resolve_value n with Some s -> Some s | None -> Some n)
+    | _ -> None
+  in
+  let leaked_locks () =
+    List.filter (fun (d, _) -> not (List.mem d !protected)) !held
+  in
+  let rec expr sub e =
     match e.exp_desc with
-    | Texp_ident (p, _, _) -> ident p ~subject:(arrow_lhs e.exp_type) e.exp_loc
+    | Texp_ident (p, _, _) ->
+        ident p ~subject:(arrow_lhs e.exp_type) e.exp_loc;
+        maybe_capture p e
     | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as f), args)
       when is_poly (canon p) ->
         let subject =
@@ -259,15 +628,211 @@ let walk ~modname ~source str =
         in
         global_ident (canon p) ~subject f.exp_loc;
         List.iter (fun (_, a) -> Option.iter (sub.Tast_iterator.expr sub) a) args
-    | Texp_try (_body, cases) ->
+    | Texp_apply (f, args) -> apply sub e.exp_loc f args
+    | Texp_function { param; cases; _ } ->
+        walk_lambda sub ~head:None ~param cases
+    | Texp_setfield (b, _, ld, v) ->
+        add_access
+          (Field_write { rectype = rectype_of ld; field = ld.lbl_name })
+          (subject_of b) e.exp_loc;
+        sub.Tast_iterator.expr sub b;
+        sub.Tast_iterator.expr sub v
+    | Texp_field (b, _, ld) when ld.lbl_mut = Mutable ->
+        add_access
+          (Field_read { rectype = rectype_of ld; field = ld.lbl_name })
+          (subject_of b) e.exp_loc;
+        sub.Tast_iterator.expr sub b
+    | Texp_let (_, vbs, body) ->
+        let d = depth () in
+        List.iter (fun vb -> register_binders d (pat_vars vb.vb_pat)) vbs;
+        List.iter (fun vb -> sub.Tast_iterator.expr sub vb.vb_expr) vbs;
+        sub.Tast_iterator.expr sub body
+    | Texp_ifthenelse (c, t, eo) ->
+        sub.Tast_iterator.expr sub c;
+        let s = !held in
+        sub.Tast_iterator.expr sub t;
+        held := s;
+        Option.iter
+          (fun x ->
+            sub.Tast_iterator.expr sub x;
+            held := s)
+          eo
+    | Texp_match (scrut, cases, _) ->
+        sub.Tast_iterator.expr sub scrut;
+        let s = !held in
+        let d = depth () in
+        List.iter
+          (fun c ->
+            register_binders d (comp_pat_vars c.c_lhs);
+            Option.iter (sub.Tast_iterator.expr sub) c.c_guard;
+            sub.Tast_iterator.expr sub c.c_rhs;
+            held := s)
+          cases
+    | Texp_try (body, cases) ->
         swallow_cases cases;
-        Tast_iterator.default_iterator.expr sub e
+        let s = !held in
+        sub.Tast_iterator.expr sub body;
+        held := s;
+        let d = depth () in
+        List.iter
+          (fun c ->
+            register_binders d (pat_vars c.c_lhs);
+            Option.iter (sub.Tast_iterator.expr sub) c.c_guard;
+            sub.Tast_iterator.expr sub c.c_rhs;
+            held := s)
+          cases
+    | Texp_while (c, b) ->
+        let s = !held in
+        sub.Tast_iterator.expr sub c;
+        sub.Tast_iterator.expr sub b;
+        held := s
+    | Texp_for (id, _, lo, hi, _, body) ->
+        sub.Tast_iterator.expr sub lo;
+        sub.Tast_iterator.expr sub hi;
+        register_binders (depth ()) [ id ];
+        let s = !held in
+        sub.Tast_iterator.expr sub body;
+        held := s
+    | Texp_assert (cond, _) ->
+        (match leaked_locks () with
+        | [] -> ()
+        | leaked ->
+            add_lock
+              (Raise_locked { locks = List.map fst leaked; what = "assert" })
+              e.exp_loc);
+        sub.Tast_iterator.expr sub cond
     | Texp_letmodule (_, name, _, mexpr, _) ->
         (match name.txt with
         | Some n -> ignore (register_module n mexpr)
         | None -> ());
         Tast_iterator.default_iterator.expr sub e
     | _ -> Tast_iterator.default_iterator.expr sub e
+  and walk_arg sub ~head (a : expression) =
+    match a.exp_desc with
+    | Texp_function { param; cases; _ } -> walk_lambda sub ~head ~param cases
+    | _ -> sub.Tast_iterator.expr sub a
+  and walk_args sub ~head args =
+    List.iter (fun (_, a) -> Option.iter (walk_arg sub ~head) a) args
+  and walk_lambda sub ~head ~param cases =
+    lam_stack := head :: !lam_stack;
+    let saved = !held in
+    let d = depth () in
+    register_binders d [ param ];
+    List.iter
+      (fun (c : value case) ->
+        register_binders d (pat_vars c.c_lhs);
+        Option.iter (sub.Tast_iterator.expr sub) c.c_guard;
+        sub.Tast_iterator.expr sub c.c_rhs)
+      cases;
+    held := saved;
+    lam_stack := List.tl !lam_stack
+  and apply sub loc f args =
+    let head = head_of f in
+    match head with
+    | Some "Stdlib.Mutex.lock" ->
+        sub.Tast_iterator.expr sub f;
+        walk_args sub ~head args;
+        Option.iter
+          (fun a ->
+            match lock_descr a with
+            | Some d ->
+                held := (d, depth ()) :: !held;
+                add_lock (Acquire d) loc
+            | None -> ())
+          (nth_pos args 0)
+    | Some "Stdlib.Mutex.unlock" ->
+        sub.Tast_iterator.expr sub f;
+        walk_args sub ~head args;
+        Option.iter
+          (fun a ->
+            match lock_descr a with
+            | Some d ->
+                remove_held d;
+                add_lock (Release d) loc
+            | None -> ())
+          (nth_pos args 0)
+    | Some "Stdlib.Mutex.protect" ->
+        sub.Tast_iterator.expr sub f;
+        (* Bracket semantics: the thunk runs with the mutex held and it
+           is released on every exit path, so no Acquire/Release events
+           are emitted — nothing can leak. *)
+        let descr =
+          match nth_pos args 0 with Some a -> lock_descr a | None -> None
+        in
+        (match (descr, args) with
+        | Some d, (_, m) :: rest ->
+            Option.iter (sub.Tast_iterator.expr sub) m;
+            held := (d, depth ()) :: !held;
+            List.iter (fun (_, a) -> Option.iter (walk_arg sub ~head) a) rest;
+            remove_held d
+        | _ -> walk_args sub ~head args)
+    | Some "Stdlib.Fun.protect" ->
+        sub.Tast_iterator.expr sub f;
+        let releases =
+          match
+            List.find_map
+              (function
+                | Asttypes.Labelled "finally", Some a -> Some a | _ -> None)
+              args
+          with
+          | Some fin -> unlocks_in fin
+          | None -> []
+        in
+        protected := releases @ !protected;
+        walk_args sub ~head args;
+        protected := drop (List.length releases) !protected;
+        (* The finally thunk ran inside its own saved/restored lambda
+           scope, so the unlocks it performs must be applied here for
+           the code following the bracket. *)
+        List.iter remove_held releases
+    | Some name when List.mem name raiser_idents ->
+        sub.Tast_iterator.expr sub f;
+        walk_args sub ~head args;
+        (match leaked_locks () with
+        | [] -> ()
+        | leaked ->
+            add_lock
+              (Raise_locked
+                 {
+                   locks = List.map fst leaked;
+                   what = snd (split_last name);
+                 })
+              loc)
+    | _ ->
+        sub.Tast_iterator.expr sub f;
+        walk_args sub ~head args;
+        Option.iter
+          (fun name ->
+            match classify_mut ~hashtbl_mods:!hashtbl_mods name with
+            | None -> ()
+            | Some (Mut_ref op) ->
+                Option.iter
+                  (fun a -> add_access (Ref_write op) (subject_of a) loc)
+                  (nth_pos args 0)
+            | Some (Mut_indexed (spos, ipos)) ->
+                Option.iter
+                  (fun a ->
+                    let idx_depth =
+                      match nth_pos args ipos with
+                      | Some ix -> min_binder_depth ix
+                      | None -> 0
+                    in
+                    add_access (Array_write { idx_depth }) (subject_of a) loc)
+                  (nth_pos args spos)
+            | Some (Mut_container (op, pos, write)) ->
+                Option.iter
+                  (fun a ->
+                    let field =
+                      match a.exp_desc with
+                      | Texp_field (_, _, ld) ->
+                          Some (rectype_of ld, ld.lbl_name)
+                      | _ -> None
+                    in
+                    add_access
+                      (Container_op { op; write; field })
+                      (subject_of a) loc)
+                  (nth_pos args pos))
+          head
   in
   let value_bindings sub vbs =
     (* Pre-register the whole group so mutually recursive bindings
@@ -275,6 +840,7 @@ let walk ~modname ~source str =
     let syms =
       List.map
         (fun vb ->
+          register_binders 0 (pat_vars vb.vb_pat);
           match binding_name vb.vb_pat with
           | Some n ->
               let sym = prefix () ^ "." ^ n in
@@ -308,8 +874,9 @@ let walk ~modname ~source str =
     | Tstr_type (_, decls) ->
         List.iter
           (fun d ->
-            tydecls :=
-              (prefix () ^ "." ^ Ident.name d.typ_id, d.typ_type) :: !tydecls)
+            let full = prefix () ^ "." ^ Ident.name d.typ_id in
+            Hashtbl.replace tydefs_tbl full ();
+            tydecls := (full, d.typ_type) :: !tydecls)
           decls
     | Tstr_primitive vd -> add_def (prefix () ^ "." ^ Ident.name vd.val_id)
     | Tstr_eval (e, _) ->
@@ -329,4 +896,7 @@ let walk ~modname ~source str =
     occs = List.rev !occs;
     tydecls = List.rev !tydecls;
     hashtbl_mods = List.rev !hashtbl_mods;
+    accesses = List.rev !accesses;
+    locks = List.rev !locks;
+    captures = List.rev !captures;
   }

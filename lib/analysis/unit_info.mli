@@ -4,8 +4,11 @@
     {!Tast_iterator} pass: polymorphic-comparison uses with their
     instantiated subject type, unsafe-access and nondeterministic
     primitives, exception-swallowing handlers, value-level call edges
-    and type declarations.  Scoping and allowlisting happen in
-    {!Rules}. *)
+    and type declarations — plus the domain-safety facts the A6–A8
+    rules judge: mutable-state accesses with their enclosing-lambda
+    context and statically-held mutexes, lock events, and
+    workspace-typed values referenced inside closures.  Scoping and
+    allowlisting happen in {!Rules}. *)
 
 type kind =
   | Poly_compare of { op : string; subject : Types.type_expr option }
@@ -27,7 +30,70 @@ type occurrence = {
   line : int;
 }
 
-type edge = { from_ : string; target : string; line : int }
+type edge = {
+  from_ : string;
+  target : string;
+  line : int;
+  lambdas : string option list;
+      (** enclosing literal lambdas, outermost first; [Some callee] when
+          the lambda was a direct argument of [callee], [None] otherwise.
+          Lets the rules find call edges that originate inside a
+          [Parallel.map (fun item -> ...)] closure. *)
+}
+
+(** Who owns the mutated cell. *)
+type subject =
+  | Local of int
+      (** bound at this lambda depth; [0] is the unit toplevel *)
+  | Global of string  (** canonical toplevel symbol *)
+  | Unknown
+
+type sort =
+  | Ref_write of string  (** [":="], ["incr"], ["decr"] *)
+  | Field_write of { rectype : string; field : string }
+  | Field_read of { rectype : string; field : string }
+      (** reads are only recorded for [mutable] fields *)
+  | Array_write of { idx_depth : int }
+      (** single-cell write; [idx_depth] is the minimum binder depth of
+          any variable in the index expression ([max_int] for constant
+          indices) — the disjoint-index exemption compares it with the
+          parallel-closure depth *)
+  | Container_op of {
+      op : string;  (** e.g. ["Hashtbl.replace"], ["Buffer.clear"] *)
+      write : bool;
+      field : (string * string) option;
+          (** [(rectype, field)] when the container is a record field *)
+    }
+
+type access = {
+  sort : sort;
+  subject : subject;
+  lambdas : string option list;  (** as in {!edge} *)
+  held : (string * int) list;
+      (** mutex descriptors statically held at the site, with the
+          lambda depth at which each was acquired *)
+  a_encl : string;
+  a_line : int;
+}
+
+type lock_event =
+  | Acquire of string
+  | Release of string
+  | Raise_locked of { locks : string list; what : string }
+      (** an explicit raiser (or assert) runs while holding [locks]
+          with no enclosing [Fun.protect]/[Mutex.protect] release *)
+
+type lock_occ = { ev : lock_event; l_encl : string; l_line : int }
+
+type capture = {
+  name : string;  (** source name of the referenced value *)
+  tyhead : string;  (** canonical type head, e.g.
+                        ["Routing.Engine.Workspace.t"] *)
+  depth : int;  (** binder depth of the value (0 = toplevel) *)
+  c_lambdas : string option list;
+  c_encl : string;
+  c_line : int;
+}
 
 type t = {
   modname : string;  (** canonical unit name, e.g. ["Routing.Engine"] *)
@@ -38,7 +104,14 @@ type t = {
   tydecls : (string * Types.type_declaration) list;
   hashtbl_mods : string list;
       (** canonical names of local [Hashtbl.Make] instances *)
+  accesses : access list;
+  locks : lock_occ list;
+  captures : capture list;
+      (** workspace-typed idents referenced under at least one lambda *)
 }
+
+val split_last : string -> string * string
+(** ["A.B.c"] -> [("A.B", "c")]; no dot -> [("", name)]. *)
 
 val is_nondet : hashtbl_mods:string list -> string -> bool
 (** Whether a canonical identifier is a nondeterministic primitive —

@@ -134,6 +134,20 @@ let catalogue =
     ( "ast/exn-swallow",
       "a catch-all or ignored-exception handler, or a \
        Printexc.print_backtrace debugging escape" );
+    ( "ast/domain-escape",
+      "mutable state created outside a closure but written inside one \
+       that runs on pool domains (directly or via the call graph), \
+       with no mutex held, lock bracket or disjoint per-item index" );
+    ( "ast/lock-discipline",
+      "a field guarded by a sibling mutex touched without that mutex \
+       statically held, a raise while holding a lock, or a lock with \
+       no unlock in its function" );
+    ( "ast/workspace-epoch",
+      "an epoch-stamped Workspace value crossing a parallel-closure \
+       boundary instead of Workspace.local () inside the closure" );
+    ( "ast/allowlist-stale",
+      "an allowlist entry that suppressed no finding this run; the \
+       code it vetted has moved — remove or update the entry" );
     ("ast/cmt-missing", "no .cmt artifacts found; run `dune build @check`");
     ( "ast/cmt-unreadable",
       "a .cmt artifact exists but cannot be read (corrupt or \

@@ -66,30 +66,48 @@ module Pool = struct
         handles = [];
       }
     in
-    t.handles <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+    let handles =
+      List.init (size - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop t 0))
+    in
+    Mutex.lock t.mutex;
+    t.handles <- handles;
+    Mutex.unlock t.mutex;
     t
 
   let size t = t.size
 
   let shutdown t =
+    (* Swap the handle list out under the lock so a concurrent shutdown
+       joins each domain exactly once; join outside it so workers can
+       take the mutex on their way out. *)
     Mutex.lock t.mutex;
     t.stop <- true;
     Condition.broadcast t.work;
+    let handles = t.handles in
+    t.handles <- [];
     Mutex.unlock t.mutex;
-    List.iter Domain.join t.handles;
-    t.handles <- []
+    List.iter Domain.join handles
 
   let sequential_map f items = Array.map f items
 
   let map ?chunk t f items =
     let n = Array.length items in
-    if n <= 1 || t.size <= 1 || t.stop then sequential_map f items
+    (* Validate before taking the lock: raising while holding it would
+       leave every waiting worker stuck. *)
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> chunk
+      | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+      | None -> None
+    in
+    if n <= 1 || t.size <= 1 then sequential_map f items
     else begin
       Mutex.lock t.mutex;
-      if t.busy then begin
-        (* Re-entrant or concurrent use (e.g. a nested map inside a worker
-           function): fall back to a plain sequential map rather than
-           deadlock on the single job slot. *)
+      if t.stop || t.busy then begin
+        (* Shut down, re-entrant or concurrent use (e.g. a nested map
+           inside a worker function): fall back to a plain sequential
+           map rather than deadlock on the single job slot. *)
         Mutex.unlock t.mutex;
         sequential_map f items
       end
@@ -103,8 +121,7 @@ module Pool = struct
            word work items) override to steal singly. *)
         let chunk =
           match chunk with
-          | Some c when c >= 1 -> c
-          | Some _ -> invalid_arg "Pool.map: chunk must be >= 1"
+          | Some c -> c
           | None -> max 1 (n / (t.size * 8))
         in
         let steal () =
@@ -149,15 +166,20 @@ module Pool = struct
 end
 
 let default = ref None
+let default_mu = Mutex.create ()
 
 let default_pool () =
-  match !default with
-  | Some p -> p
-  | None ->
-      let p = Pool.create () in
-      default := Some p;
-      at_exit (fun () -> Pool.shutdown p);
-      p
+  (* Serialized: concurrent first uses (a nested Parallel.map from a
+     worker of a caller-owned pool) must not each spawn a pool and leak
+     all but the last. *)
+  Mutex.protect default_mu (fun () ->
+      match !default with
+      | Some p -> p
+      | None ->
+          let p = Pool.create () in
+          default := Some p;
+          at_exit (fun () -> Pool.shutdown p);
+          p)
 
 let map ?pool ?domains ?chunk f items =
   match pool with

@@ -1,0 +1,59 @@
+(* A6 seed: mutable state created outside a parallel closure, written
+   inside it.  Every racy_* function must fire ast/domain-escape; the
+   ok_* functions use an accepted mediation and must stay silent. *)
+
+(* Global ref bumped from every domain. *)
+let hits = ref 0
+
+let racy_count items = Parallel.map (fun x -> incr hits; x + 1) items
+
+(* Locally-created accumulator captured by the closure. *)
+let racy_local items =
+  let acc = ref 0 in
+  let _ = Parallel.map (fun x -> acc := !acc + x; x) items in
+  !acc
+
+(* Shared Hashtbl mutated concurrently. *)
+let memo : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let racy_memo items =
+  Parallel.map
+    (fun x ->
+      match Hashtbl.find_opt memo x with
+      | Some y -> y
+      | None ->
+          let y = x * x in
+          Hashtbl.replace memo x y;
+          y)
+    items
+
+(* Reach variant: the closure calls a named helper that bumps a global
+   two hops down the call graph. *)
+let total = ref 0
+let bump_shared x = total := !total + x
+
+let indirect x =
+  bump_shared x;
+  x
+
+let racy_reach items = Parallel.map (fun x -> indirect x) items
+
+(* Exempt: each item writes only its own slot (disjoint index derived
+   from the work item). *)
+let ok_disjoint items =
+  let out = Array.make (Array.length items) 0 in
+  let idx = Array.init (Array.length items) (fun i -> i) in
+  let _ = Parallel.map (fun i -> out.(i) <- items.(i) * 2; i) idx in
+  out
+
+(* Exempt: the shared accumulator is only touched under its mutex. *)
+let ok_locked_mu = Mutex.create ()
+let ok_locked_sum = ref 0
+
+let ok_locked items =
+  Parallel.map
+    (fun x ->
+      Mutex.protect ok_locked_mu (fun () ->
+          ok_locked_sum := !ok_locked_sum + x);
+      x)
+    items

@@ -1,0 +1,16 @@
+(* A7 seed: lock leaks.  [explode] raises while holding the mutex with
+   no protect bracket, so the unlock on the normal path is skipped;
+   [forget] never unlocks at all. *)
+
+let m = Mutex.create ()
+let counter = ref 0
+
+let explode () =
+  Mutex.lock m;
+  incr counter;
+  if !counter > 3 then failwith "boom";
+  Mutex.unlock m
+
+let forget () =
+  Mutex.lock m;
+  incr counter

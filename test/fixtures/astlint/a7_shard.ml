@@ -1,0 +1,24 @@
+(* A7 seed: the record declares a Mutex.t sibling, so Lockreg infers
+   that [count] and [table] are guarded by it.  racy_* touch them with
+   no lock statically held; ok_* hold the lock or use the protect
+   bracket. *)
+
+type shard = {
+  mutex : Mutex.t;
+  mutable count : int;
+  table : (int, int) Hashtbl.t;
+}
+
+let make () =
+  { mutex = Mutex.create (); count = 0; table = Hashtbl.create 16 }
+
+let racy_bump s = s.count <- s.count + 1
+let racy_store s k v = Hashtbl.replace s.table k v
+
+let ok_locked s =
+  Mutex.lock s.mutex;
+  s.count <- s.count + 1;
+  Mutex.unlock s.mutex
+
+let ok_bracket s k v =
+  Mutex.protect s.mutex (fun () -> Hashtbl.replace s.table k v)

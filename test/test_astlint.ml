@@ -68,7 +68,8 @@ let test_all_rules_covered () =
         Alcotest.failf "no fixture finding for %s" rule)
     [
       A.Rules.rule_poly; A.Rules.rule_taint; A.Rules.rule_unsafe;
-      A.Rules.rule_float; A.Rules.rule_swallow;
+      A.Rules.rule_float; A.Rules.rule_swallow; A.Rules.rule_escape;
+      A.Rules.rule_lock; A.Rules.rule_epoch;
     ]
 
 (* The old grep lint dropped any hit line that begins with a comment
@@ -120,6 +121,179 @@ let test_tree_clean () =
       Alcotest.failf "tree not clean (%d findings); first: %s"
         (List.length (D.errors outcome.A.report))
         (D.to_string d)
+
+(* ---- domain-safety fact collection -------------------------------- *)
+
+let fixture_unit base =
+  let outcome = Lazy.force fixture_outcome in
+  match
+    List.find_opt
+      (fun (u : A.Unit_info.t) -> Filename.basename u.source = base)
+      outcome.A.units
+  with
+  | Some u -> u
+  | None -> Alcotest.failf "fixture unit %s not scanned" base
+
+(* The walk must record, for a value referenced under lambdas, the
+   chain of enclosing closures with the callee each literal lambda was
+   passed to — that chain is what the A6/A8 rules match par entries
+   against. *)
+let test_capture_chain () =
+  let u = fixture_unit "a8_workspace.ml" in
+  let ws =
+    match
+      List.find_opt
+        (fun (c : A.Unit_info.capture) ->
+          c.name = "ws"
+          && c.c_encl = "Astlint_fixtures.A8_workspace.racy_shared")
+        u.captures
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "no capture fact for ws in racy_shared"
+  in
+  Alcotest.(check string)
+    "workspace type head" "Routing.Engine.Workspace.t" ws.tyhead;
+  Alcotest.(check bool)
+    "chain ends in the Parallel.map lambda" true
+    (match List.rev ws.c_lambdas with
+    | Some "Parallel.map" :: _ -> true
+    | _ -> false);
+  Alcotest.(check bool)
+    "bound outside that lambda" true
+    (ws.depth < List.length ws.c_lambdas)
+
+(* Lock regions: accesses between Mutex.lock/unlock carry the held
+   descriptor; the same access outside the region carries none. *)
+let test_lock_regions () =
+  let u = fixture_unit "a7_shard.ml" in
+  let field_accesses encl =
+    List.filter
+      (fun (a : A.Unit_info.access) ->
+        a.a_encl = "Astlint_fixtures.A7_shard." ^ encl
+        &&
+        match a.sort with
+        | A.Unit_info.Field_write _ | A.Unit_info.Field_read _
+        | A.Unit_info.Container_op { field = Some _; _ } ->
+            true
+        | _ -> false)
+      u.accesses
+  in
+  let held_descrs (a : A.Unit_info.access) = List.map fst a.held in
+  List.iter
+    (fun a ->
+      Alcotest.(check (list string))
+        "racy_bump holds nothing" [] (held_descrs a))
+    (field_accesses "racy_bump");
+  (match field_accesses "ok_locked" with
+  | [] -> Alcotest.fail "no field accesses collected in ok_locked"
+  | l ->
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            "ok_locked holds the shard mutex" true
+            (List.mem "Astlint_fixtures.A7_shard.shard.mutex"
+               (held_descrs a)))
+        l);
+  (* Lock events: explode raises while locked, forget never releases. *)
+  let leak = fixture_unit "a7_leak.ml" in
+  let has p = List.exists p leak.locks in
+  Alcotest.(check bool)
+    "explode records a locked raise" true
+    (has (fun (l : A.Unit_info.lock_occ) ->
+         match l.ev with
+         | A.Unit_info.Raise_locked { what = "failwith"; _ } ->
+             l.l_encl = "Astlint_fixtures.A7_leak.explode"
+         | _ -> false));
+  Alcotest.(check bool)
+    "forget acquires" true
+    (has (fun (l : A.Unit_info.lock_occ) ->
+         match l.ev with
+         | A.Unit_info.Acquire _ ->
+             l.l_encl = "Astlint_fixtures.A7_leak.forget"
+         | _ -> false));
+  Alcotest.(check bool)
+    "forget never releases" false
+    (has (fun (l : A.Unit_info.lock_occ) ->
+         match l.ev with
+         | A.Unit_info.Release _ ->
+             l.l_encl = "Astlint_fixtures.A7_leak.forget"
+         | _ -> false))
+
+(* Mutex-sibling inference over the fixture record type. *)
+let test_lockreg () =
+  let outcome = Lazy.force fixture_outcome in
+  let reg = A.Lockreg.build outcome.A.units in
+  let rectype = "Astlint_fixtures.A7_shard.shard" in
+  Alcotest.(check (option string))
+    "count guarded" (Some "mutex")
+    (A.Lockreg.guard reg ~rectype ~field:"count");
+  Alcotest.(check (option string))
+    "table guarded" (Some "mutex")
+    (A.Lockreg.guard reg ~rectype ~field:"table");
+  Alcotest.(check (option string))
+    "the mutex itself is not guarded" None
+    (A.Lockreg.guard reg ~rectype ~field:"mutex")
+
+(* Stale-entry detection: an entry matching nothing must surface as an
+   ast/allowlist-stale finding against the allowlist file itself. *)
+let test_stale_allowlist () =
+  let outcome = Lazy.force fixture_outcome in
+  let allow =
+    match
+      A.Allowlist.parse_string
+        "ast/poly-compare  No.Such.Symbol  -- decoy entry\n"
+    with
+    | Ok a -> a
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  let cfg = A.fixture_config allow in
+  let reg = A.Typereg.build outcome.A.units in
+  let graph = A.Callgraph.build outcome.A.units in
+  let findings =
+    A.Rules.apply ~allow_source:"allow.txt" cfg reg graph outcome.A.units
+  in
+  match
+    List.find_opt
+      (fun (f : A.Rules.finding) -> f.rule = A.Rules.rule_stale)
+      findings
+  with
+  | Some f ->
+      Alcotest.(check string) "reported against the file" "allow.txt"
+        f.source;
+      Alcotest.(check string) "names the entry" "No.Such.Symbol" f.symbol
+  | None -> Alcotest.fail "stale allowlist entry produced no finding"
+
+(* ---- digest cache -------------------------------------------------- *)
+
+let test_cache_roundtrip () =
+  let outcome = Lazy.force fixture_outcome in
+  let u = List.hd outcome.A.units in
+  let path = Filename.temp_file "astlint_cache" ".bin" in
+  let c = A.Cmt_loader.Cache.empty () in
+  A.Cmt_loader.Cache.store c ~digest:"d1" u;
+  A.Cmt_loader.Cache.save c ~path;
+  let c' = A.Cmt_loader.Cache.load ~path in
+  (match A.Cmt_loader.Cache.lookup c' ~digest:"d1" with
+  | Some u' ->
+      Alcotest.(check string) "modname survives" u.modname u'.modname;
+      Alcotest.(check string) "source survives" u.source u'.source;
+      Alcotest.(check int)
+        "accesses survive"
+        (List.length u.accesses)
+        (List.length u'.accesses)
+  | None -> Alcotest.fail "stored unit not found after reload");
+  Alcotest.(check bool)
+    "unknown digest misses" true
+    (A.Cmt_loader.Cache.lookup c' ~digest:"d2" = None);
+  (* A truncated file must degrade to a cold cache, not raise. *)
+  let oc = open_out path in
+  output_string oc "garbage";
+  close_out oc;
+  let c'' = A.Cmt_loader.Cache.load ~path in
+  Alcotest.(check bool)
+    "corrupt cache is cold" true
+    (A.Cmt_loader.Cache.lookup c'' ~digest:"d1" = None);
+  Sys.remove path
 
 (* ---- symbol canonicalization -------------------------------------- *)
 
@@ -194,9 +368,22 @@ let () =
           Alcotest.test_case "production tree clean under allowlist" `Quick
             test_tree_clean;
         ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "capture chain collected" `Quick
+            test_capture_chain;
+          Alcotest.test_case "lock regions collected" `Quick
+            test_lock_regions;
+          Alcotest.test_case "mutex-sibling guard inference" `Quick
+            test_lockreg;
+          Alcotest.test_case "stale allowlist entry flagged" `Quick
+            test_stale_allowlist;
+        ] );
       ( "plumbing",
         [
           Alcotest.test_case "symbol canonicalization" `Quick test_canon;
           Alcotest.test_case "allowlist parser" `Quick test_allowlist;
+          Alcotest.test_case "digest cache roundtrip" `Quick
+            test_cache_roundtrip;
         ] );
     ]

@@ -1,13 +1,18 @@
 (* sbgp-astlint: typed-AST lint over dune's .cmt artifacts.
 
-   Production mode scans lib/ and bin/ with the A1-A5 rule catalogue
+   Production mode scans lib/ and bin/ with the A1-A8 rule catalogue
    (Analysis.Rules) and exits non-zero on any finding that is not in
-   the checked-in allowlist.  --fixtures inverts the polarity: it scans
-   the deliberately-bad corpus under test/fixtures/astlint and exits
-   non-zero when an expected finding does NOT fire — the false-negative
-   guard that keeps the rules honest.  Both run from `dune build @lint`
-   (see the root dune file), after @check has produced the .cmt
-   artifacts this tool reads. *)
+   the checked-in allowlist — including allowlist entries that matched
+   nothing (ast/allowlist-stale).  --fixtures inverts the polarity: it
+   scans the deliberately-bad corpus under test/fixtures/astlint and
+   exits non-zero when an expected finding does NOT fire — the
+   false-negative guard that keeps the rules honest.  Both run from
+   `dune build @lint` (see the root dune file), after @check has
+   produced the .cmt artifacts this tool reads.
+
+   A digest cache next to the build root makes repeated runs skip
+   re-walking unchanged units; --json emits machine-readable
+   diagnostics for CI without changing the plain output. *)
 
 module D = Check.Diagnostic
 
@@ -19,11 +24,68 @@ let allowlist_candidates =
     "../../../tools/astlint/allowlist.txt";
   ]
 
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json (outcome : Analysis.outcome) ~elapsed =
+  let is_load_rule r =
+    r = Analysis.Rules.rule_missing
+    || r = Analysis.Rules.rule_unreadable
+    || r = Analysis.Rules.rule_allowlist
+  in
+  let load_errors =
+    List.filter (fun (d : D.t) -> is_load_rule d.rule)
+      outcome.report.D.diags
+  in
+  let buf = Buffer.create 1024 in
+  let clean = D.ok outcome.report in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"clean\": %b, \"units\": %d, \"cached\": %d, \"elapsed_s\": \
+        %.3f, \"findings\": ["
+       clean
+       (List.length outcome.units)
+       outcome.cached elapsed);
+  List.iteri
+    (fun i (f : Analysis.Rules.finding) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+            \"symbol\": \"%s\", \"message\": \"%s\"}"
+           (json_escape f.rule) (json_escape f.source) f.line
+           (json_escape f.symbol) (json_escape f.text)))
+    outcome.findings;
+  Buffer.add_string buf "], \"load_errors\": [";
+  List.iteri
+    (fun i (d : D.t) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf "{\"rule\": \"%s\", \"message\": \"%s\"}"
+           (json_escape d.rule) (json_escape d.message)))
+    load_errors;
+  Buffer.add_string buf "]}\n";
+  print_string (Buffer.contents buf)
+
 let () =
   let root = ref None in
   let allowlist = ref None in
   let fixtures = ref false in
   let quiet = ref false in
+  let json = ref false in
+  let no_cache = ref false in
   let spec =
     [
       ( "--root",
@@ -38,6 +100,10 @@ let () =
         Arg.Set fixtures,
         " false-negative guard over test/fixtures/astlint" );
       ("--quiet", Arg.Set quiet, " only print on failure");
+      ("--json", Arg.Set json, " machine-readable findings on stdout");
+      ( "--no-cache",
+        Arg.Set no_cache,
+        " disable the .cmt digest cache (always re-walk)" );
     ]
   in
   Arg.parse spec
@@ -60,10 +126,20 @@ let () =
     | Some f -> Some f
     | None -> List.find_opt Sys.file_exists allowlist_candidates
   in
+  (* One snapshot per mode: save prunes to the units of the current
+     run, so sharing a file between the production and fixture scans
+     (which @lint runs back-to-back) would evict each other's entries
+     every time. *)
+  let cache_path =
+    if !no_cache then None
+    else if !fixtures then
+      Some (Filename.concat root ".sbgp-astlint.fixtures.cache")
+    else Some (Filename.concat root ".sbgp-astlint.cache")
+  in
+  let t0 = Unix.gettimeofday () in
   if !fixtures then begin
     let outcome =
-      Analysis.analyze ~config:Analysis.fixture_config
-        ~root
+      Analysis.analyze ~config:Analysis.fixture_config ?cache_path ~root
         ~dirs:[ Analysis.fixture_dir ]
         ()
     in
@@ -79,9 +155,10 @@ let () =
         if not !quiet then
           Printf.printf
             "astlint fixtures: %d findings over %d units, every seeded \
-             defect caught\n"
+             defect caught (%.2fs)\n"
             (List.length outcome.Analysis.report.D.diags)
             (List.length outcome.Analysis.units)
+            (Unix.gettimeofday () -. t0)
     | failures ->
         List.iter (fun f -> Printf.eprintf "astlint fixtures: %s\n" f)
           failures;
@@ -89,13 +166,20 @@ let () =
   end
   else begin
     let outcome =
-      Analysis.analyze ?allowlist_file ~root ~dirs:Analysis.default_dirs ()
+      Analysis.analyze ?allowlist_file ?cache_path ~root
+        ~dirs:Analysis.default_dirs ()
     in
+    let elapsed = Unix.gettimeofday () -. t0 in
     let report = outcome.Analysis.report in
-    if D.ok report then begin
+    if !json then begin
+      print_json outcome ~elapsed;
+      if not (D.ok report) then exit 1
+    end
+    else if D.ok report then begin
       if not !quiet then
-        Printf.printf "astlint: clean (%d units)\n"
+        Printf.printf "astlint: clean (%d units, %d cached, %.2fs)\n"
           (List.length outcome.Analysis.units)
+          outcome.Analysis.cached elapsed
     end
     else begin
       print_string (D.summary report);

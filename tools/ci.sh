@@ -30,6 +30,30 @@ echo "== sbgp check --static (smoke)"
 # installed binary can locate the .cmt artifacts and the allowlist.
 dune exec bin/sbgp.exe -- check --static
 
+echo "== astlint --json (smoke)"
+# The machine-readable output must agree with the plain gate: a clean
+# tree yields "clean": true and an empty findings array.
+json_out=$(dune exec tools/astlint/main.exe -- --json)
+echo "$json_out"
+case "$json_out" in
+  '{"clean": true,'*'"findings": []'*) ;;
+  *) echo "astlint --json: unexpected output for a clean tree"; exit 1 ;;
+esac
+
+echo "== astlint stale-allowlist gate (smoke)"
+# An allowlist entry that suppresses nothing must fail the run with an
+# ast/allowlist-stale finding — exemptions cannot outlive their code.
+stale_allow=$(mktemp)
+cat tools/astlint/allowlist.txt > "$stale_allow"
+echo "ast/poly-compare  No.Such.Symbol  -- ci stale-gate probe" >> "$stale_allow"
+if dune exec tools/astlint/main.exe -- --allowlist "$stale_allow" \
+    > /tmp/astlint_stale_out 2>&1; then
+  echo "astlint: stale allowlist entry was not rejected"; exit 1
+fi
+grep -q "ast/allowlist-stale" /tmp/astlint_stale_out || {
+  echo "astlint: failure was not the stale-entry finding"; exit 1; }
+rm -f "$stale_allow" /tmp/astlint_stale_out
+
 echo "== sbgp check (smoke)"
 dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants \
   --incremental --inc-pairs 4
