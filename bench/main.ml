@@ -38,14 +38,23 @@
    (timed separately as gate_s, outside the measured window), then
    pairs/second and minor-heap words per pair for both sides.
 
+   Part 7 is the Max-k optimizer benchmark: the CELF lazy greedy
+   (lib/optimize, DESIGN.md §14) against the naive full-re-eval greedy
+   on one seeded instance — the Check.Optimize identity gate first
+   (CELF must emit the bit-identical pick sequence), then
+   seconds-per-greedy-step and engine-evaluations-per-step for both
+   sides.
+
    Environment knobs (additional): SBGP_BENCH_ONLY — comma-separated
    subset of the parts "experiments", "micro", "h_metric", "rollout",
-   "kernel", "batch" to run (default: all); SBGP_BENCH_KERNEL_PAIRS
-   (pair count for the kernel part, default 48) and
-   SBGP_BENCH_KERNEL_REPS (alternating measurement rounds per side,
+   "kernel", "batch", "optimize" to run (default: all);
+   SBGP_BENCH_KERNEL_PAIRS (pair count for the kernel part, default 48)
+   and SBGP_BENCH_KERNEL_REPS (alternating measurement rounds per side,
    default 3); SBGP_BENCH_BATCH_DSTS (destination solves for the batch
    part, default 6) and SBGP_BENCH_BATCH_REPS (rounds per side,
-   default 3).
+   default 3); SBGP_BENCH_OPT_CANDS (candidate-set size for the
+   optimizer part, default 48) and SBGP_BENCH_OPT_K (picks requested,
+   default 6).
 
    With --json on the command line (or SBGP_BENCH_JSON=1), all timings
    are additionally written to BENCH_<label>.json, where <label> comes
@@ -891,6 +900,143 @@ let run_batch_bench () =
     ("identity_gate", 1.);
   ]
 
+(* Max-k optimizer benchmark: CELF lazy greedy vs naive full-re-eval
+   greedy on one seeded instance.  The naive side re-scores every
+   remaining candidate from scratch each round (candidates x pairs
+   engine evaluations per step); CELF pays the full candidate sweep only
+   on its first round — through the incremental evaluator, so each score
+   costs just the candidate's dirty cone — and afterwards touches only
+   stale queue tops plus provably-dirty rounds.  The identity gate
+   (Check.Optimize.compare_results) makes the comparison meaningful:
+   both sides must emit the bit-identical pick sequence and bounds. *)
+let run_optimize_bench () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let cands_k = max 2 (env_int "SBGP_BENCH_OPT_CANDS" 48) in
+  let k = max 1 (env_int "SBGP_BENCH_OPT_K" 6) in
+  let result =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n)
+      (Core.Rng.create seed)
+  in
+  let g = result.Core.Topogen.graph in
+  let nn = Core.Graph.n g in
+  let tiers = Core.Topogen.tiers result in
+  let rng = Core.Rng.create (seed + 17) in
+  let dsts = Core.Rng.sample_without_replacement rng (min 6 nn) nn in
+  let non_stubs = Core.Tiers.non_stubs tiers in
+  let in_dsts v = Array.exists (( = ) v) dsts in
+  let attackers =
+    Array.to_list
+      (Core.Rng.sample_without_replacement rng
+         (min 12 (Array.length non_stubs))
+         (Array.length non_stubs))
+    |> List.filter_map (fun i ->
+           if in_dsts non_stubs.(i) then None else Some non_stubs.(i))
+    |> Array.of_list
+  in
+  let attackers = Array.sub attackers 0 (min 8 (Array.length attackers)) in
+  (* Candidates: the provider/peer rings around the destinations — the
+     only region where a pick can complete a contiguous secure chain and
+     move the metric (see lib/experiments/exp_optimize.ml). *)
+  let in_attackers v = Array.exists (( = ) v) attackers in
+  let ring = Hashtbl.create 64 in
+  let add v =
+    if not (in_dsts v || in_attackers v) then Hashtbl.replace ring v ()
+  in
+  Array.iter
+    (fun d ->
+      Array.iter add (Core.Graph.providers g d);
+      Array.iter add (Core.Graph.peers g d))
+    dsts;
+  let ring1 = Hashtbl.fold (fun v () acc -> v :: acc) ring [] in
+  List.iter (fun v -> Array.iter add (Core.Graph.providers g v)) ring1;
+  List.iter
+    (fun v ->
+      Array.iter add (Core.Graph.providers g v);
+      Array.iter add (Core.Graph.peers g v))
+    (Hashtbl.fold (fun v () acc -> v :: acc) ring []);
+  let ring_pool =
+    Hashtbl.fold (fun v () acc -> v :: acc) ring []
+    |> List.sort compare |> Array.of_list
+  in
+  let cands_k = min cands_k (Array.length ring_pool) in
+  let candidates =
+    Array.map
+      (fun i -> ring_pool.(i))
+      (Core.Rng.sample_without_replacement rng cands_k
+         (Array.length ring_pool))
+  in
+  let pairs = Core.Metric.pairs ~attackers ~dsts () in
+  let base = Core.Deployment.make ~n:nn ~full:[||] ~simplex:dsts () in
+  let policy = Core.Policy.make Core.Policy.Security_first in
+  let pool =
+    Core.Parallel.Pool.create ~domains:(max 2 (Core.Parallel.default_domains ())) ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Core.Parallel.Pool.shutdown pool)
+    (fun () ->
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let x = f () in
+        (x, Unix.gettimeofday () -. t0)
+      in
+      let naive, naive_s =
+        time (fun () ->
+            Core.Optimize.Max_k.greedy ~pool ~objective:`Lb ~base g policy
+              ~pairs ~k ~candidates)
+      in
+      let cache = Core.Metric.Cache.create () in
+      let celf, celf_s =
+        time (fun () ->
+            Core.Optimize.Max_k.celf ~pool ~cache ~objective:`Lb ~base g
+              policy ~pairs ~k ~candidates)
+      in
+      (match
+         Core.Check.Optimize.compare_results ~label:"optimize bench" naive
+           celf
+       with
+      | [] -> ()
+      | d :: _ ->
+          failwith
+            ("optimize bench: identity gate failed: "
+            ^ Core.Check.Diagnostic.to_string d));
+      let steps = max 1 naive.Core.Optimize.Max_k.achieved in
+      let fsteps = float_of_int steps in
+      let naive_evals = naive.Core.Optimize.Max_k.engine_evals in
+      let celf_evals = celf.Core.Optimize.Max_k.engine_evals in
+      let ratio = float_of_int naive_evals /. float_of_int celf_evals in
+      Printf.printf
+        "#### Max-k optimizer (n=%d, %d candidates, %d pairs, k=%d): naive \
+         %.3fs (%.3fs/step, %d evals, %.0f/step) vs CELF %.3fs (%.3fs/step, \
+         %d evals, %.0f/step) — x%.1f fewer evals/step, x%.2f wall, \
+         identical picks ####\n\n\
+         %!"
+        n cands_k (Array.length pairs) steps naive_s (naive_s /. fsteps)
+        naive_evals
+        (float_of_int naive_evals /. fsteps)
+        celf_s (celf_s /. fsteps) celf_evals
+        (float_of_int celf_evals /. fsteps)
+        ratio (naive_s /. celf_s);
+      [
+        ("candidates", float_of_int cands_k);
+        ("pairs", float_of_int (Array.length pairs));
+        ("k", float_of_int k);
+        ("achieved", float_of_int naive.Core.Optimize.Max_k.achieved);
+        ("naive_s", naive_s);
+        ("naive_s_per_step", naive_s /. fsteps);
+        ("naive_evals", float_of_int naive_evals);
+        ("naive_evals_per_step", float_of_int naive_evals /. fsteps);
+        ("celf_s", celf_s);
+        ("celf_s_per_step", celf_s /. fsteps);
+        ("celf_evals", float_of_int celf_evals);
+        ("celf_evals_per_step", float_of_int celf_evals /. fsteps);
+        ("celf_gain_evals", float_of_int celf.Core.Optimize.Max_k.gain_evals);
+        ("eval_ratio", ratio);
+        ("speedup", naive_s /. celf_s);
+        ("identity_gate", 1.);
+      ])
+
 (* Minimal JSON emission — no dependencies, flat string/number maps. *)
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -957,6 +1103,7 @@ let () =
   if part "rollout" then add "rollout" (run_rollout_bench ());
   if part "kernel" then add "kernel" (run_kernel_bench ());
   if part "batch" then add "batch" (run_batch_bench ());
+  if part "optimize" then add "optimize" (run_optimize_bench ());
   let total_s = Unix.gettimeofday () -. t0 in
   if json then begin
     let label =

@@ -277,6 +277,18 @@ let check_cmd =
              sub-pass decodes every lane of sampled attacker words and \
              pinpoints the first divergent destination/word/bit).")
   in
+  let optimize_arg =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Run only the optimize pass: the CELF lazy greedy of the \
+             Max-k optimizer is replayed against the naive full-re-eval \
+             greedy on the Appendix-I set-cover gadget and seeded \
+             instances over the context graph, demanding the \
+             bit-identical pick sequence and H bounds (H is not proven \
+             submodular, so laziness is gated, not assumed).")
+  in
   let static_arg =
     Arg.(
       value & flag
@@ -317,7 +329,7 @@ let check_cmd =
           exit 1
   in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules inc_pairs incremental kernel static =
+      rules inc_pairs incremental kernel optimize static =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
@@ -356,6 +368,10 @@ let check_cmd =
             ctx.Core.Experiments.Context.graph
         else if kernel then
           Core.Check.run_kernel ~options ctx.Core.Experiments.Context.graph
+        else if optimize then
+          Core.Check.run_optimize ~options
+            ~pool:(Core.Experiments.Context.pool ctx)
+            ctx.Core.Experiments.Context.graph
         else
           Core.Check.run ~options
             ~tiers:ctx.Core.Experiments.Context.tiers ?base
@@ -379,7 +395,7 @@ let check_cmd =
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
       $ rules_arg $ inc_pairs_arg $ incremental_arg $ kernel_arg
-      $ static_arg)
+      $ optimize_arg $ static_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

@@ -4,6 +4,7 @@ module Verify = Verify
 module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
+module Optimize = Opt_check
 module Mutants = Mutants
 module D = Diagnostic
 module G = Topology.Graph
@@ -185,6 +186,9 @@ let incremental_pass options g =
   Incremental.analyze ~seed:(options.seed + 3) ~pairs:options.inc_pairs g
     options.policies
 
+let optimize_pass ?pool options g =
+  Opt_check.analyze ?pool ~seed:(options.seed + 5) g options.policies
+
 let run ?(options = default_options) ?tiers ?base ?deployments g =
   let n = G.n g in
   let report = D.empty_report in
@@ -204,7 +208,9 @@ let run ?(options = default_options) ?tiers ?base ?deployments g =
     let ditems, ddiags = determinism_pass options g in
     let report = D.add_pass report "determinism" ~items:ditems ddiags in
     let iitems, idiags = incremental_pass options g in
-    D.add_pass report "incremental" ~items:iitems idiags
+    let report = D.add_pass report "incremental" ~items:iitems idiags in
+    let oitems, odiags = optimize_pass options g in
+    D.add_pass report "optimize" ~items:oitems odiags
   end
 
 let run_incremental ?(options = default_options) ?pool g =
@@ -213,3 +219,7 @@ let run_incremental ?(options = default_options) ?pool g =
       ~pairs:options.inc_pairs g options.policies
   in
   D.add_pass D.empty_report "incremental" ~items diags
+
+let run_optimize ?(options = default_options) ?pool g =
+  let items, diags = optimize_pass ?pool options g in
+  D.add_pass D.empty_report "optimize" ~items diags

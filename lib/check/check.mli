@@ -17,7 +17,12 @@
       to the sequential fresh-buffer baseline;
     + {b incremental} ({!Incremental}) — evaluation along a seeded
       rollout chain through the dirty-cone/caching layer must be
-      bit-identical to from-scratch computation at every step.
+      bit-identical to from-scratch computation at every step;
+    + {b optimize} ({!Optimize}) — the CELF lazy greedy of
+      {!Optimize.Max_k} is replayed against the naive full-re-eval
+      greedy on seeded instances and the Appendix-I set-cover gadget,
+      demanding the bit-identical pick sequence and bounds (H is not
+      proven submodular, so laziness is gated, not assumed).
 
     All diagnostics are structured ({!Diagnostic}): rule id, severity,
     offending ASes, message — the checker reports everything it finds
@@ -31,6 +36,7 @@ module Verify = Verify
 module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
+module Optimize = Opt_check
 module Mutants = Mutants
 
 type options = {
@@ -71,6 +77,13 @@ val run_incremental :
 (** Only the incremental pass ([sbgp check --incremental]), optionally
     fanning the evaluator's recomputations over [pool] so the sharded
     cache is exercised under parallelism too. *)
+
+val run_optimize :
+  ?options:options -> ?pool:Parallel.Pool.t -> Topology.Graph.t ->
+  Diagnostic.report
+(** Only the optimize pass ([sbgp check --optimize]): the CELF-vs-naive
+    differential gate on the set-cover gadget plus seeded instances on
+    the graph, optionally pooling the metric evaluations. *)
 
 val run_kernel : ?options:options -> Topology.Graph.t -> Diagnostic.report
 (** Only the kernel pass ([sbgp check --kernel]): the scalar

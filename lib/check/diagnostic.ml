@@ -115,6 +115,10 @@ let catalogue =
     ( "inc/divergence",
       "incremental rollout evaluation diverged from a from-scratch \
        computation at some step of a seeded deployment chain" );
+    ( "opt/divergence",
+      "the CELF lazy greedy diverged from the naive full-re-eval \
+       greedy (pick sequence, achieved size or H bounds) on a seeded \
+       Max-k instance" );
     ( "check/false-negative",
       "a mutant with a planted bug was not flagged by the checker" );
     ( "ast/poly-compare",

@@ -409,6 +409,26 @@ let all =
       description = "every third workspace reuse returns a stale outcome";
       run = stale_workspace;
     };
+    {
+      name = "opt-stale-gain-trusted";
+      expected_rule = "opt/divergence";
+      description =
+        "CELF selects a stale queue top without re-scoring it; on the \
+         set-cover gadget the stale gain outranks the true best pick";
+      run =
+        (fun () ->
+          snd (Opt_check.gadget ~fault:Optimize.Max_k.Trust_stale_gains ()));
+    };
+    {
+      name = "opt-queue-priority-flip";
+      expected_rule = "opt/divergence";
+      description =
+        "the CELF priority queue pops the smallest gain first, flipping \
+         even the opening pick";
+      run =
+        (fun () ->
+          snd (Opt_check.gadget ~fault:Optimize.Max_k.Flip_queue_priority ()));
+    };
   ]
 
 let detected m = D.has_rule (m.run ()) m.expected_rule

@@ -1,0 +1,14 @@
+(** One experiment of the reproduction; see the implementation header for
+    what it reproduces and the paper's expectations.  Registered in
+    {!Registry.all}. *)
+
+val name : string
+(** Stable experiment id (CLI: [sbgp run <name>]). *)
+
+val title : string
+val paper : string
+(** Where in the paper the reproduced table/figure lives. *)
+
+val run : Context.t -> string
+(** Execute at the context's scale and render the rows/series the paper
+    reports. *)

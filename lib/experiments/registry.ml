@@ -87,6 +87,12 @@ let all : entry list =
       paper = Exp_anecdotes.paper;
       run = Exp_anecdotes.run;
     };
+    {
+      id = Exp_optimize.name;
+      title = Exp_optimize.title;
+      paper = Exp_optimize.paper;
+      run = Exp_optimize.run;
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all

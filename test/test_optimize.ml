@@ -1,5 +1,5 @@
-(* Max-k-Security: greedy vs exhaustive, and the Theorem 5.1 / Appendix I
-   set-cover reduction. *)
+(* Max-k-Security: greedy vs exhaustive, CELF vs naive greedy, argument
+   validation, and the Theorem 5.1 / Appendix I set-cover reduction. *)
 
 open Core
 open Test_helpers
@@ -19,13 +19,33 @@ let test_greedy_le_exhaustive =
             (List.filter (fun v -> v <> m) (List.init n (fun i -> i)))
         in
         let k = 1 + Rng.int rng 2 in
-        let _, greedy_count =
-          Optimize.greedy g sec3 ~attacker:m ~dst ~k ~candidates
+        let greedy = Optimize.greedy g sec3 ~attacker:m ~dst ~k ~candidates in
+        let best = Optimize.exhaustive g sec3 ~attacker:m ~dst ~k ~candidates in
+        greedy.Optimize.happy <= best.Optimize.happy
+      end)
+
+(* At k = 1 greedy scans every candidate, so it IS exhaustive. *)
+let test_greedy_eq_exhaustive_k1 =
+  qtest "greedy equals exhaustive at k = 1" ~count:40 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:12 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else begin
+        let candidates =
+          Array.of_list
+            (List.filter (fun v -> v <> m) (List.init n (fun i -> i)))
         in
-        let _, best_count =
-          Optimize.exhaustive g sec3 ~attacker:m ~dst ~k ~candidates
+        let greedy =
+          Optimize.greedy g sec3 ~attacker:m ~dst ~k:1 ~candidates
         in
-        greedy_count <= best_count
+        let best =
+          Optimize.exhaustive g sec3 ~attacker:m ~dst ~k:1 ~candidates
+        in
+        greedy.Optimize.happy = best.Optimize.happy
+        && greedy.Optimize.achieved = 1
+        && best.Optimize.achieved = 1
       end)
 
 let test_securing_helps =
@@ -40,11 +60,126 @@ let test_securing_helps =
           Optimize.happy_with g sec3 (Deployment.empty n) ~attacker:m ~dst
         in
         let candidates = [| dst |] in
-        let _, best =
-          Optimize.exhaustive g sec3 ~attacker:m ~dst ~k:1 ~candidates
-        in
-        best >= base
+        let best = Optimize.exhaustive g sec3 ~attacker:m ~dst ~k:1 ~candidates in
+        best.Optimize.happy >= base
       end)
+
+(* The upper-bound objective can only see more happy sources than the
+   lower-bound one (ties resolve toward the attacker in the latter). *)
+let test_objective_order =
+  qtest "happy_with `Ub >= `Lb" ~count:40 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:12 in
+      let n = Graph.n g in
+      let dst = Rng.int rng n and m = Rng.int rng n in
+      if m = dst then true
+      else
+        let dep = random_deployment rng n in
+        Optimize.happy_with ~objective:`Ub g sec3 dep ~attacker:m ~dst
+        >= Optimize.happy_with ~objective:`Lb g sec3 dep ~attacker:m ~dst)
+
+(* ---- argument validation and early stopping ---------------------- *)
+
+let raises_invalid f =
+  match f () with
+  | _ -> false
+  | exception Invalid_argument _ -> true
+
+let test_validation () =
+  let g = graph 4 [ c2p 1 0; c2p 2 0; c2p 3 1 ] in
+  let candidates = [| 1; 2 |] in
+  Alcotest.(check bool) "iter_subsets k < 0" true
+    (raises_invalid (fun () -> Optimize.iter_subsets candidates (-1) ignore));
+  Alcotest.(check bool) "iter_subsets k > n" true
+    (raises_invalid (fun () -> Optimize.iter_subsets candidates 3 ignore));
+  Alcotest.(check bool) "exhaustive k > n" true
+    (raises_invalid (fun () ->
+         Optimize.exhaustive g sec3 ~attacker:3 ~dst:0 ~k:3 ~candidates));
+  Alcotest.(check bool) "exhaustive k < 0" true
+    (raises_invalid (fun () ->
+         Optimize.exhaustive g sec3 ~attacker:3 ~dst:0 ~k:(-1) ~candidates));
+  Alcotest.(check bool) "greedy k < 0" true
+    (raises_invalid (fun () ->
+         Optimize.greedy g sec3 ~attacker:3 ~dst:0 ~k:(-2) ~candidates));
+  let pairs = [| { Metric.attacker = 3; dst = 0 } |] in
+  Alcotest.(check bool) "Max_k.greedy k < 0" true
+    (raises_invalid (fun () ->
+         Optimize.Max_k.greedy g sec3 ~pairs ~k:(-1) ~candidates));
+  Alcotest.(check bool) "Max_k.celf k < 0" true
+    (raises_invalid (fun () ->
+         Optimize.Max_k.celf g sec3 ~pairs ~k:(-1) ~candidates));
+  Alcotest.(check bool) "Max_k.greedy empty pairs" true
+    (raises_invalid (fun () ->
+         Optimize.Max_k.greedy g sec3 ~pairs:[||] ~k:1 ~candidates));
+  Alcotest.(check bool) "Max_k.celf bad base size" true
+    (raises_invalid (fun () ->
+         Optimize.Max_k.celf ~base:(Deployment.empty 3) g sec3 ~pairs ~k:1
+           ~candidates))
+
+let test_early_stop () =
+  let g = graph 4 [ c2p 1 0; c2p 2 0; c2p 3 1 ] in
+  let candidates = [| 1; 2 |] in
+  let r = Optimize.greedy g sec3 ~attacker:3 ~dst:0 ~k:5 ~candidates in
+  Alcotest.(check int) "greedy requested" 5 r.Optimize.requested;
+  Alcotest.(check int) "greedy achieved" 2 r.Optimize.achieved;
+  Alcotest.(check int) "greedy chosen size" 2 (Array.length r.Optimize.chosen);
+  let pairs = [| { Metric.attacker = 3; dst = 0 } |] in
+  let rn = Optimize.Max_k.greedy g sec3 ~pairs ~k:5 ~candidates in
+  Alcotest.(check int) "Max_k.greedy achieved" 2 rn.Optimize.Max_k.achieved;
+  Alcotest.(check int) "Max_k.greedy steps" 2
+    (Array.length rn.Optimize.Max_k.steps);
+  let rc = Optimize.Max_k.celf g sec3 ~pairs ~k:5 ~candidates in
+  Alcotest.(check int) "Max_k.celf achieved" 2 rc.Optimize.Max_k.achieved
+
+(* ---- CELF vs naive greedy ---------------------------------------- *)
+
+(* The tentpole identity: on random instances the CELF lazy greedy must
+   emit the bit-identical pick sequence and bounds as the naive
+   full-re-eval greedy (Check.Optimize is the same gate at check
+   scale). *)
+let test_celf_eq_greedy =
+  qtest "CELF equals naive greedy bit-for-bit" ~count:40 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:12 in
+      let n = Graph.n g in
+      if n < 6 then true
+      else begin
+        let d0 = Rng.int rng n in
+        let d1 = (d0 + 1 + Rng.int rng (n - 1)) mod n in
+        let dsts = [| d0; d1 |] in
+        let rest =
+          List.filter (fun v -> v <> d0 && v <> d1) (List.init n Fun.id)
+        in
+        match rest with
+        | a0 :: a1 :: cands when cands <> [] ->
+            let attackers = [| a0; a1 |] in
+            let pairs = Metric.pairs ~attackers ~dsts () in
+            (* Destinations sign so that transit candidates can matter. *)
+            let base = Deployment.make ~n ~full:[||] ~simplex:dsts () in
+            let candidates = Array.of_list cands in
+            let k = 1 + Rng.int rng 3 in
+            let policy = random_policy rng in
+            let objective = if seed mod 2 = 0 then `Lb else `Ub in
+            let naive =
+              Optimize.Max_k.greedy ~objective ~base g policy ~pairs ~k
+                ~candidates
+            in
+            let celf =
+              Optimize.Max_k.celf ~objective ~base g policy ~pairs ~k
+                ~candidates
+            in
+            let diags =
+              Check.Optimize.compare_results ~label:"qcheck" naive celf
+            in
+            List.iter
+              (fun d ->
+                Printf.eprintf "%s\n%!" (Check.Diagnostic.to_string d))
+              diags;
+            diags = []
+        | _ -> true
+      end)
+
+(* ---- the set-cover reduction ------------------------------------- *)
 
 (* The reduction on a hand instance: universe {0,1,2}, sets {0,1}, {1,2},
    {2}.  A 2-cover exists ({0,1},{2}); no 1-cover does. *)
@@ -62,7 +197,17 @@ let test_reduction_hand () =
   Alcotest.(check bool) "2-security achievable" true
     (Optimize.Set_cover.security_achievable built ~gamma:2);
   Alcotest.(check bool) "1-security not achievable" false
-    (Optimize.Set_cover.security_achievable built ~gamma:1)
+    (Optimize.Set_cover.security_achievable built ~gamma:1);
+  (* Budgets are clamped into [0, number of sets]: over-budget decides
+     like gamma = w, negative like gamma = 0. *)
+  Alcotest.(check bool) "over-budget clamps to all sets" true
+    (Optimize.Set_cover.cover_exists inst ~gamma:99);
+  Alcotest.(check bool) "negative budget clamps to none" false
+    (Optimize.Set_cover.cover_exists inst ~gamma:(-3));
+  Alcotest.(check bool) "over-budget security achievable" true
+    (Optimize.Set_cover.security_achievable built ~gamma:99);
+  Alcotest.(check bool) "negative budget security" false
+    (Optimize.Set_cover.security_achievable built ~gamma:(-3))
 
 (* Theorem I.1's equivalence on random instances: a gamma-cover exists iff
    securing d, the elements, and gamma set-ASes makes everyone happy. *)
@@ -122,11 +267,37 @@ let test_reduction_element_semantics () =
     (fun s -> Alcotest.(check bool) "set AS happy" true (Outcome.happy_lb out s))
     built.Optimize.Set_cover.set_as
 
+(* CELF greedily solves the gadget's coverage instance: the nested set is
+   never picked, and both solvers agree (the check-pass gate in
+   miniature). *)
+let test_gadget_gate () =
+  let items, diags = Check.Optimize.gadget () in
+  Alcotest.(check bool) "gadget items counted" true (items > 0);
+  List.iter
+    (fun d -> Printf.eprintf "%s\n%!" (Check.Diagnostic.to_string d))
+    diags;
+  Alcotest.(check int) "gadget clean" 0 (List.length diags)
+
 let () =
   Alcotest.run "optimize"
     [
       ( "heuristics",
-        [ test_greedy_le_exhaustive; test_securing_helps ] );
+        [
+          test_greedy_le_exhaustive;
+          test_greedy_eq_exhaustive_k1;
+          test_securing_helps;
+          test_objective_order;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "invalid arguments" `Quick test_validation;
+          Alcotest.test_case "early stop" `Quick test_early_stop;
+        ] );
+      ( "celf",
+        [
+          test_celf_eq_greedy;
+          Alcotest.test_case "gadget gate" `Quick test_gadget_gate;
+        ] );
       ( "reduction",
         [
           Alcotest.test_case "hand instance" `Quick test_reduction_hand;

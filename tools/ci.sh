@@ -76,4 +76,16 @@ echo "== batch bench (smoke)"
 SBGP_BENCH_ONLY=batch SBGP_BENCH_N=250 SBGP_BENCH_BATCH_DSTS=2 \
   SBGP_BENCH_BATCH_REPS=1 dune exec bench/main.exe
 
+echo "== sbgp check --optimize (smoke)"
+# The Max-k optimizer differential gate on its own: CELF must replay the
+# naive greedy's pick sequence bit-for-bit on the set-cover gadget and
+# seeded random instances.
+dune exec bin/sbgp.exe -- check --optimize -n 150
+
+echo "== optimize bench (smoke)"
+# Toy-scale run of the CELF-vs-naive-greedy optimizer benchmark: the
+# Check.Optimize identity gate inside it is the point, not the timing.
+SBGP_BENCH_ONLY=optimize SBGP_BENCH_N=250 SBGP_BENCH_OPT_CANDS=8 \
+  SBGP_BENCH_OPT_K=3 dune exec bench/main.exe
+
 echo "ci: all green"
