@@ -45,16 +45,25 @@
    seconds-per-greedy-step and engine-evaluations-per-step for both
    sides.
 
+   Part 8 is the topology layer (PR 9): binary snapshot load against
+   Topogen regeneration (with a CSR bit-identity gate), then a
+   link-flip delta replay through Metric.Replay against from-scratch
+   re-evaluation at every step (bit-identity gated), reporting wall
+   time and engine-evaluation counts for both sides.
+
    Environment knobs (additional): SBGP_BENCH_ONLY — comma-separated
    subset of the parts "experiments", "micro", "h_metric", "rollout",
-   "kernel", "batch", "optimize" to run (default: all);
+   "kernel", "batch", "optimize", "topology" to run (default: all);
    SBGP_BENCH_KERNEL_PAIRS (pair count for the kernel part, default 48)
    and SBGP_BENCH_KERNEL_REPS (alternating measurement rounds per side,
    default 3); SBGP_BENCH_BATCH_DSTS (destination solves for the batch
    part, default 6) and SBGP_BENCH_BATCH_REPS (rounds per side,
    default 3); SBGP_BENCH_OPT_CANDS (candidate-set size for the
    optimizer part, default 48) and SBGP_BENCH_OPT_K (picks requested,
-   default 6).
+   default 6); SBGP_BENCH_TOPO_DSTS / SBGP_BENCH_TOPO_STEPS /
+   SBGP_BENCH_TOPO_FLIPS (destination words, delta steps, link flaps per
+   step for the topology part; defaults 6 / 10 / 3) and
+   SBGP_BENCH_LOAD_REPS (snapshot load repetitions, default 5).
 
    With --json on the command line (or SBGP_BENCH_JSON=1), all timings
    are additionally written to BENCH_<label>.json, where <label> comes
@@ -552,7 +561,7 @@ let run_rollout_bench () =
                           (fun (policy, _, _, _) ->
                             carried_perdst :=
                               !carried_perdst
-                              + Core.Metric.Cache.carry cache policy cone
+                              + Core.Metric.Cache.carry cache policy g cone
                                   ~old_dep ~new_dep:dep ~attackers
                                   ~dsts:retained)
                           lanes
@@ -900,6 +909,215 @@ let run_batch_bench () =
     ("identity_gate", 1.);
   ]
 
+(* Topology layer benchmark (PR 9).
+
+   Side one: loading a binary snapshot against regenerating the same
+   graph with Topogen — the load must be CSR-bit-identical to the
+   generated graph (gate) and is expected to be orders of magnitude
+   faster (the >=100x acceptance claim at n >= 40000).
+
+   Side two: a link-flap delta replay.  Each step flaps (adds or
+   removes) a few peer links between stub ASes — IXP-style edge-peering
+   churn, the dominant real-world topology change and the workload a
+   CAIDA-style snapshot replay produces — and every other step one flap
+   is incident to a sampled destination, so some words genuinely change.
+   Metric.Replay re-solves only the destination words its influence
+   test marks dirty: a stub<->stub peer link is Ex-blocked in every word
+   whose destination and attackers lie elsewhere (stub routes are
+   provider routes, never exported to peers), so those words carry; a
+   destination-incident flap changes that word's tree and must re-solve.
+   The scratch side rebuilds a fresh replay on the stepped graph and
+   primes every word.  Both sides' per-pair bounds must be bit-identical
+   at every step (gate); the interesting numbers are wall time and
+   engine evaluations (lanes solved) per side — the >=5x acceptance
+   claim is scratch_evals / replay_evals. *)
+let run_topology_bench () =
+  let n = env_int "SBGP_BENCH_N" 4000 in
+  let seed = env_int "SBGP_SEED" 42 in
+  let dsts_k = max 1 (env_int "SBGP_BENCH_TOPO_DSTS" 6) in
+  let steps = max 1 (env_int "SBGP_BENCH_TOPO_STEPS" 10) in
+  let flips = max 1 (env_int "SBGP_BENCH_TOPO_FLIPS" 3) in
+  let load_reps = max 1 (env_int "SBGP_BENCH_LOAD_REPS" 5) in
+  let gen () =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n)
+      (Core.Rng.create seed)
+  in
+  let gen_t0 = Unix.gettimeofday () in
+  let result = gen () in
+  let gen_s = Unix.gettimeofday () -. gen_t0 in
+  let g = result.Core.Topogen.graph in
+  let nn = Core.Graph.n g in
+  (* Snapshot save + repeated loads. *)
+  let path = Filename.temp_file "sbgp-bench" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let save_t0 = Unix.gettimeofday () in
+      Core.Serial.save_snapshot path g;
+      let save_s = Unix.gettimeofday () -. save_t0 in
+      let snapshot_bytes = (Unix.stat path).Unix.st_size in
+      let ints_equal (x : Core.Graph.ints) (y : Core.Graph.ints) =
+        Bigarray.Array1.dim x = Bigarray.Array1.dim y
+        &&
+        let ok = ref true in
+        for i = 0 to Bigarray.Array1.dim x - 1 do
+          if x.{i} <> y.{i} then ok := false
+        done;
+        !ok
+      in
+      (* Identity gate (untimed): the loaded graph is the generated one,
+         bit for bit. *)
+      let first = Core.Serial.load_snapshot path in
+      let cg = Core.Graph.csr g and cl = Core.Graph.csr first in
+      if
+        not
+          (Core.Graph.n first = nn
+          && ints_equal cg.Core.Graph.Csr.xs cl.Core.Graph.Csr.xs
+          && ints_equal cg.Core.Graph.Csr.adj cl.Core.Graph.Csr.adj)
+      then failwith "topology bench: snapshot identity gate failed";
+      let load_t0 = Unix.gettimeofday () in
+      for _ = 1 to load_reps do
+        ignore (Core.Serial.load_snapshot path)
+      done;
+      let load_s = (Unix.gettimeofday () -. load_t0) /. float_of_int load_reps in
+      let load_speedup = gen_s /. load_s in
+      (* Delta replay.  Destinations sampled anywhere, one full word of
+         non-stub attackers shared by every destination. *)
+      let tiers = Core.Topogen.tiers result in
+      let dep = Core.Deployment.tier1_tier2 g tiers ~n_t1:13 ~n_t2:50 in
+      let rng = Core.Rng.create (seed + 17) in
+      let dsts = Core.Rng.sample_without_replacement rng (min dsts_k (nn / 2)) nn in
+      let pool = Core.Tiers.non_stubs tiers in
+      let attackers =
+        Core.Rng.sample_without_replacement rng
+          (min (Core.Batch.max_lanes + 1) (Array.length pool))
+          (Array.length pool)
+        |> Array.map (fun i -> pool.(i))
+        |> Array.to_list
+        |> List.filter (fun m -> not (Array.mem m dsts))
+        |> Array.of_list
+      in
+      let attackers =
+        Array.sub attackers 0 (min Core.Batch.max_lanes (Array.length attackers))
+      in
+      let pairs = Core.Metric.pairs ~attackers ~dsts () in
+      let lanes_total = Array.length pairs in
+      let policy = Core.Policy.make Core.Policy.Security_third in
+      let rp = Core.Metric.Replay.create g policy dep pairs in
+      ignore (Core.Metric.Replay.eval rp);
+      let primed = (Core.Metric.Replay.stats rp).Core.Metric.Replay.lanes_solved in
+      (* Per-step deltas: flap peer links between stubs (adding when the
+         pair is non-adjacent, removing when a peer link exists), plus —
+         every other step — one flap incident to a sampled destination.
+         Distinct pairs within a step, as Graph.Delta requires. *)
+      let stubs =
+        Array.of_seq
+          (Seq.filter (Core.Graph.is_stub g) (Seq.init nn (fun v -> v)))
+      in
+      if Array.length stubs < 2 then
+        failwith "topology bench: graph has fewer than two stubs";
+      let step_delta step g =
+        let used = Hashtbl.create 8 in
+        let ops = ref [] in
+        let flap a b =
+          let a, b = (min a b, max a b) in
+          if a <> b && not (Hashtbl.mem used (a, b)) then begin
+            match Core.Graph.relationship g a b with
+            | None ->
+                Hashtbl.replace used (a, b) ();
+                ops := Core.Graph.Delta.Add (Core.Graph.Peer_peer (a, b)) :: !ops
+            | Some (Core.Graph.Peer_peer _ as e) ->
+                Hashtbl.replace used (a, b) ();
+                ops := Core.Graph.Delta.Remove e :: !ops
+            | Some (Core.Graph.Customer_provider _) -> ()
+          end
+        in
+        let pick () = stubs.(Core.Rng.int rng (Array.length stubs)) in
+        if step mod 2 = 0 then
+          flap dsts.(step / 2 mod Array.length dsts) (pick ());
+        let guard = ref (10 * flips) in
+        while List.length !ops < flips && !guard > 0 do
+          decr guard;
+          flap (pick ()) (pick ())
+        done;
+        if !ops = [] then failwith "topology bench: empty delta step";
+        Array.of_list (List.rev !ops)
+      in
+      let bits_equal a b =
+        Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+      in
+      let replay_s = ref 0. and scratch_s = ref 0. in
+      let scratch_evals = ref 0 in
+      for step = 1 to steps do
+        let delta = step_delta step (Core.Metric.Replay.graph rp) in
+        let t0 = Unix.gettimeofday () in
+        ignore (Core.Metric.Replay.step rp delta);
+        replay_s := !replay_s +. (Unix.gettimeofday () -. t0);
+        (* Scratch side: fresh replay on the stepped graph, full prime. *)
+        let g' = Core.Metric.Replay.graph rp in
+        let t0 = Unix.gettimeofday () in
+        let fresh = Core.Metric.Replay.create g' policy dep pairs in
+        ignore (Core.Metric.Replay.eval fresh);
+        scratch_s := !scratch_s +. (Unix.gettimeofday () -. t0);
+        scratch_evals :=
+          !scratch_evals
+          + (Core.Metric.Replay.stats fresh).Core.Metric.Replay.lanes_solved;
+        (* Identity gate: every pair's bounds bit-identical. *)
+        let a = Core.Metric.Replay.values rp in
+        let b = Core.Metric.Replay.values fresh in
+        Array.iteri
+          (fun i p ->
+            if
+              not
+                (bits_equal a.(i).Core.Metric.lb b.(i).Core.Metric.lb
+                && bits_equal a.(i).Core.Metric.ub b.(i).Core.Metric.ub)
+            then
+              failwith
+                (Printf.sprintf
+                   "topology bench: replay identity gate failed at step %d, \
+                    pair (m=%d, d=%d)"
+                   step p.Core.Metric.attacker p.Core.Metric.dst))
+          pairs
+      done;
+      let st = Core.Metric.Replay.stats rp in
+      let replay_evals = st.Core.Metric.Replay.lanes_solved - primed in
+      let eval_ratio =
+        float_of_int !scratch_evals /. float_of_int (max 1 replay_evals)
+      in
+      Printf.printf
+        "#### Topology layer (n=%d, %d dsts x %d lanes, %d delta steps x %d \
+         flaps) ####\n\
+        \     generate    %10.3f s\n\
+        \     save        %10.3f s  (%d bytes)\n\
+        \     load        %10.5f s  (x%.0f vs generate, %d reps)\n\
+        \     replay      %10.3f s  %6d engine evals over %d steps (%d \
+         carried)\n\
+        \     scratch     %10.3f s  %6d engine evals\n\
+        \     eval ratio (scratch/replay): x%.1f; identity gates passed\n\n\
+         %!"
+        n (Array.length dsts) (Array.length attackers) steps flips gen_s save_s
+        snapshot_bytes load_s load_speedup load_reps !replay_s replay_evals
+        steps st.Core.Metric.Replay.lanes_carried !scratch_s !scratch_evals
+        eval_ratio;
+      [
+        ("gen_s", gen_s);
+        ("save_s", save_s);
+        ("snapshot_bytes", float_of_int snapshot_bytes);
+        ("load_s", load_s);
+        ("load_speedup", load_speedup);
+        ("dsts", float_of_int (Array.length dsts));
+        ("lanes", float_of_int lanes_total);
+        ("delta_steps", float_of_int steps);
+        ("replay_s", !replay_s);
+        ("replay_evals", float_of_int replay_evals);
+        ("lanes_carried", float_of_int st.Core.Metric.Replay.lanes_carried);
+        ("scratch_s", !scratch_s);
+        ("scratch_evals", float_of_int !scratch_evals);
+        ("eval_ratio", eval_ratio);
+        ("identity_gate", 1.);
+      ])
+
 (* Max-k optimizer benchmark: CELF lazy greedy vs naive full-re-eval
    greedy on one seeded instance.  The naive side re-scores every
    remaining candidate from scratch each round (candidates x pairs
@@ -1104,6 +1322,7 @@ let () =
   if part "kernel" then add "kernel" (run_kernel_bench ());
   if part "batch" then add "batch" (run_batch_bench ());
   if part "optimize" then add "optimize" (run_optimize_bench ());
+  if part "topology" then add "topology" (run_topology_bench ());
   let total_s = Unix.gettimeofday () -. t0 in
   if json then begin
     let label =

@@ -45,19 +45,38 @@ let domains_arg =
 
 let graph_arg =
   let doc =
-    "Load the AS graph from this CAIDA-style relationship file instead of \
-     generating one (see `sbgp gen`).  Content providers default to the \
-     17 highest-peering-degree non-T1 ASes."
+    "Load the AS graph from this file instead of generating one (see `sbgp \
+     gen`): either a CAIDA-style relationship file or a binary snapshot \
+     (`sbgp gen --snapshot`), detected by content.  Content providers \
+     default to the 17 highest-peering-degree non-T1 ASes."
   in
   Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"FILE" ~doc)
+
+(* Sniff the file format: binary snapshots start with the 8-byte magic,
+   relationship files are plain text. *)
+let is_snapshot path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = String.length Core.Serial.snapshot_magic in
+      in_channel_length ic >= m
+      &&
+      let b = really_input_string ic m in
+      String.equal b Core.Serial.snapshot_magic)
+
+let load_graph path =
+  if is_snapshot path then Core.Serial.load_snapshot path
+  else
+    (* Real CAIDA relationship files use sparse AS numbers; remap them
+       onto dense ids. *)
+    fst (Core.Serial.load_remapped path)
 
 let context n seed ixp scale domains graph_file =
   match graph_file with
   | None -> Core.Experiments.Context.make ~n ~seed ~ixp ~scale ?domains ()
   | Some path ->
-      (* Real CAIDA relationship files use sparse AS numbers; remap them
-         onto dense ids. *)
-      let g, _asns = Core.Serial.load_remapped path in
+      let g = load_graph path in
       let g =
         if ixp then fst (Core.Ixp.augment (Core.Rng.create (seed + 1)) g)
         else g
@@ -80,7 +99,17 @@ let gen_cmd =
       & opt string "as-graph.txt"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
-  let run n seed ixp out =
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Also write the graph as a binary snapshot (versioned, \
+             digest-protected, mmap-loadable in milliseconds; see `sbgp run \
+             --graph`).")
+  in
+  let run n seed ixp out snapshot =
     let r =
       Core.Topogen.generate
         ~params:(Core.Topogen.default_params ~n)
@@ -91,6 +120,11 @@ let gen_cmd =
       else (r.Core.Topogen.graph, 0)
     in
     Core.Serial.save out g;
+    (match snapshot with
+    | None -> ()
+    | Some path ->
+        Core.Serial.save_snapshot path g;
+        Printf.printf "wrote snapshot %s\n" path);
     let tiers = Core.Tiers.classify ~cps:(Array.to_list r.Core.Topogen.cps) g in
     Printf.printf "wrote %s\n%s" out (Core.Tiers.summary g tiers);
     if ixp then Printf.printf "IXP augmentation added %d peer edges\n" added;
@@ -100,7 +134,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic AS topology and save it.")
-    Term.(const run $ n_arg $ seed_arg $ ixp_arg $ out)
+    Term.(const run $ n_arg $ seed_arg $ ixp_arg $ out $ snapshot)
 
 let list_cmd =
   let run () =
@@ -289,6 +323,17 @@ let check_cmd =
              bit-identical pick sequence and H bounds (H is not proven \
              submodular, so laziness is gated, not assumed).")
   in
+  let topology_arg =
+    Arg.(
+      value & flag
+      & info [ "topology" ]
+          ~doc:
+            "Run only the topology pass: the off-heap CSR is compared \
+             against the adjacency-table view, binary snapshots must \
+             round-trip bit-identically (and reject a corrupted payload), \
+             and topology-delta replay must be bit-identical to \
+             from-scratch computation along a seeded delta chain.")
+  in
   let static_arg =
     Arg.(
       value & flag
@@ -329,7 +374,7 @@ let check_cmd =
           exit 1
   in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules inc_pairs incremental kernel optimize static =
+      rules inc_pairs incremental kernel optimize topology static =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
@@ -372,6 +417,8 @@ let check_cmd =
           Core.Check.run_optimize ~options
             ~pool:(Core.Experiments.Context.pool ctx)
             ctx.Core.Experiments.Context.graph
+        else if topology then
+          Core.Check.run_topology ~options ctx.Core.Experiments.Context.graph
         else
           Core.Check.run ~options
             ~tiers:ctx.Core.Experiments.Context.tiers ?base
@@ -395,7 +442,7 @@ let check_cmd =
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
       $ rules_arg $ inc_pairs_arg $ incremental_arg $ kernel_arg
-      $ optimize_arg $ static_arg)
+      $ optimize_arg $ topology_arg $ static_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

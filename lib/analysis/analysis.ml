@@ -145,7 +145,11 @@ let fixture_config allow =
     Rules.hot_scopes = [ fixture_dir ];
     swallow_scopes = [ fixture_dir ];
     unsafe_scopes = [ fixture_dir ];
-    kernel_modules = [ "Astlint_fixtures.A3_unsafe.Vetted_kernel" ];
+    kernel_modules =
+      [
+        "Astlint_fixtures.A3_unsafe.Vetted_kernel";
+        "Astlint_fixtures.A3_bigarray.Vetted_kernel";
+      ];
     taint_roots = [ "Astlint_fixtures.A2_taint.root_compute" ];
     rng_scopes = [];
     domain_scopes = [ fixture_dir ];

@@ -133,7 +133,11 @@ let is_poly name =
   List.mem name poly_operators || List.mem name poly_containers
 
 let unsafe_idents =
-  [ "Stdlib.Array.unsafe_get"; "Stdlib.Array.unsafe_set"; "Stdlib.Obj.magic" ]
+  [
+    "Stdlib.Array.unsafe_get"; "Stdlib.Array.unsafe_set";
+    "Stdlib.Bigarray.Array1.unsafe_get"; "Stdlib.Bigarray.Array1.unsafe_set";
+    "Stdlib.Obj.magic";
+  ]
 
 let nondet_exact =
   [ "Stdlib.Sys.time"; "Unix.gettimeofday"; "Unix.time"; "Stdlib.Domain.self" ]

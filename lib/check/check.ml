@@ -5,6 +5,7 @@ module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
 module Optimize = Opt_check
+module Topo = Topo_check
 module Mutants = Mutants
 module D = Diagnostic
 module G = Topology.Graph
@@ -189,6 +190,10 @@ let incremental_pass options g =
 let optimize_pass ?pool options g =
   Opt_check.analyze ?pool ~seed:(options.seed + 5) g options.policies
 
+let topology_pass options g =
+  Topo_check.analyze ~seed:(options.seed + 6) ~pairs:options.inc_pairs g
+    options.policies
+
 let run ?(options = default_options) ?tiers ?base ?deployments g =
   let n = G.n g in
   let report = D.empty_report in
@@ -210,7 +215,9 @@ let run ?(options = default_options) ?tiers ?base ?deployments g =
     let iitems, idiags = incremental_pass options g in
     let report = D.add_pass report "incremental" ~items:iitems idiags in
     let oitems, odiags = optimize_pass options g in
-    D.add_pass report "optimize" ~items:oitems odiags
+    let report = D.add_pass report "optimize" ~items:oitems odiags in
+    let titems, tdiags = topology_pass options g in
+    D.add_pass report "topology" ~items:titems tdiags
   end
 
 let run_incremental ?(options = default_options) ?pool g =
@@ -223,3 +230,7 @@ let run_incremental ?(options = default_options) ?pool g =
 let run_optimize ?(options = default_options) ?pool g =
   let items, diags = optimize_pass ?pool options g in
   D.add_pass D.empty_report "optimize" ~items diags
+
+let run_topology ?(options = default_options) g =
+  let items, diags = topology_pass options g in
+  D.add_pass D.empty_report "topology" ~items diags

@@ -22,7 +22,12 @@
       {!Optimize.Max_k} is replayed against the naive full-re-eval
       greedy on seeded instances and the Appendix-I set-cover gadget,
       demanding the bit-identical pick sequence and bounds (H is not
-      proven submodular, so laziness is gated, not assumed).
+      proven submodular, so laziness is gated, not assumed);
+    + {b topology} ({!Topo}) — the off-heap CSR is compared against the
+      adjacency-table view, binary snapshots must round-trip
+      bit-identically (and reject corruption), and topology-delta
+      replay through {!Metric.H_metric.Replay} must match from-scratch
+      computation at every step of a seeded delta chain.
 
     All diagnostics are structured ({!Diagnostic}): rule id, severity,
     offending ASes, message — the checker reports everything it finds
@@ -37,6 +42,7 @@ module Kernel = Kernel
 module Determinism = Determinism
 module Incremental = Incremental
 module Optimize = Opt_check
+module Topo = Topo_check
 module Mutants = Mutants
 
 type options = {
@@ -90,3 +96,8 @@ val run_kernel : ?options:options -> Topology.Graph.t -> Diagnostic.report
     differential gate plus the batched-divergence sub-pass, which
     decodes every lane of sampled (destination, attacker-word) batches
     against the reference kernel. *)
+
+val run_topology : ?options:options -> Topology.Graph.t -> Diagnostic.report
+(** Only the topology pass ([sbgp check --topology]): CSR-vs-tables
+    identity, snapshot round-trip and corruption rejection, and
+    delta-replay-vs-scratch bit-identity (uses [inc_pairs] pairs). *)

@@ -89,7 +89,8 @@ let carry_secure_dests (ctx : Context.t) lanes ~prev ~dep ~attackers ~dsts =
         List.iter
           (fun lane ->
             ignore
-              (Metric.H_metric.Cache.carry cache lane.policy cone ~old_dep
+              (Metric.H_metric.Cache.carry cache lane.policy ctx.graph cone
+                 ~old_dep
                  ~new_dep:dep ~attackers ~dsts:retained))
           lanes
       end

@@ -102,9 +102,9 @@ let per_destination_changes ?pool ?cache g policy dep ~attackers ~dsts =
   (match cache with
   | None -> ()
   | Some c ->
-      ignore (Metric.H_metric.Cache.intern c dep);
+      ignore (Metric.H_metric.Cache.intern c g dep);
       ignore
-        (Metric.H_metric.Cache.intern c
+        (Metric.H_metric.Cache.intern c g
            (Deployment.empty (Topology.Graph.n g))));
   Parallel.map ?pool
     (fun dst ->

@@ -279,7 +279,8 @@ module Cache = struct
   type t = {
     store : bounds Sc.t;
     mu : Mutex.t; (* guards the version intern table *)
-    mutable versions : (int * Deployment.t * int) list;
+    mutable versions : (int * int * Deployment.t * int) list;
+        (* (topology version, deployment fingerprint, deployment, id) *)
     mutable next : int;
   }
 
@@ -291,43 +292,49 @@ module Cache = struct
       next = 0;
     }
 
-  let intern t dep =
+  let intern t g dep =
+    let gv = Topology.Graph.version g in
     let fp = Deployment.fingerprint dep in
     Mutex.lock t.mu;
     let rec find = function
       | [] ->
           let v = t.next in
           t.next <- v + 1;
-          t.versions <- (fp, dep, v) :: t.versions;
+          t.versions <- (gv, fp, dep, v) :: t.versions;
           v
-      | (fp', dep', v) :: rest ->
-          if fp' = fp && Deployment.equal dep' dep then v else find rest
+      | (gv', fp', dep', v) :: rest ->
+          if gv' = gv && fp' = fp && Deployment.equal dep' dep then v
+          else find rest
     in
     let v = find t.versions in
     Mutex.unlock t.mu;
     v
 
-  (* Interned versions start at 0, so this reserved slot never collides. *)
-  let unsigned_version = -1
+  (* The unsigned-destination slot must still distinguish topologies (the
+     outcome is deployment- and model-independent, not graph-independent):
+     one reserved negative version per graph, which can never collide
+     with the interned ids (those count up from 0). *)
+  let unsigned_version g = -1 - Topology.Graph.version g
 
-  let key policy dep ~version { attacker; dst } =
+  let key policy g dep ~version { attacker; dst } =
     if Deployment.signs_origin dep dst then
       { Sc.k1 = policy_code policy; k2 = version; k3 = attacker; k4 = dst }
     else
       (* See [normalized_code]: the outcome for an unsigned destination is
          independent of the model and the deployment, so all such entries
-         share one slot per local-preference variant. *)
+         share one slot per local-preference variant and topology. *)
       {
         Sc.k1 = normalized_code policy;
-        k2 = unsigned_version;
+        k2 = unsigned_version g;
         k3 = attacker;
         k4 = dst;
       }
 
-  let find t policy dep ~version p = Sc.find t.store (key policy dep ~version p)
+  let find t policy g dep ~version p =
+    Sc.find t.store (key policy g dep ~version p)
 
-  let store t policy dep ~version p b =
-    Sc.store t.store (key policy dep ~version p) b
+  let store t policy g dep ~version p b =
+    Sc.store t.store (key policy g dep ~version p) b
 
   let length t = Sc.length t.store
   let hits t = Sc.hits t.store
@@ -337,8 +344,8 @@ module Cache = struct
      dirty cone clears keeps its old-deployment value bit-for-bit, so the
      cached entry can be republished under the new version without touching
      the engine.  Returns how many entries were carried. *)
-  let carry t policy cone ~old_dep ~new_dep ~attackers ~dsts =
-    let old_v = intern t old_dep and new_v = intern t new_dep in
+  let carry t policy g cone ~old_dep ~new_dep ~attackers ~dsts =
+    let old_v = intern t g old_dep and new_v = intern t g new_dep in
     let carried = ref 0 in
     Array.iter
       (fun dst ->
@@ -349,9 +356,9 @@ module Cache = struct
               && not (Routing.Incremental.dirty_pair cone ~attacker ~dst)
             then
               let p = { attacker; dst } in
-              match find t policy old_dep ~version:old_v p with
+              match find t policy g old_dep ~version:old_v p with
               | Some b ->
-                  store t policy new_dep ~version:new_v p b;
+                  store t policy g new_dep ~version:new_v p b;
                   incr carried
               | None -> ())
           attackers)
@@ -374,9 +381,9 @@ let h_metric ?progress ?pool ?(domains = 1) ?cache g policy dep pairs =
       match cache with
       | None -> ((fun _ -> None), fun _ _ -> ())
       | Some c ->
-          let version = Cache.intern c dep in
-          ( (fun p -> Cache.find c policy dep ~version p),
-            fun p b -> Cache.store c policy dep ~version p b )
+          let version = Cache.intern c g dep in
+          ( (fun p -> Cache.find c policy g dep ~version p),
+            fun p b -> Cache.store c policy g dep ~version p b )
     in
     let compute_pair ws p =
       match find p with
@@ -544,13 +551,13 @@ module Evaluator = struct
     end
 
   let eval t dep =
-    let version = Cache.intern t.cache dep in
+    let version = Cache.intern t.cache t.g dep in
     let n = Array.length t.pairs in
     let vals = Array.make n { lb = 0.; ub = 0. } in
     let carried = ref 0 and hits = ref 0 and skips = ref 0 in
     let to_compute = ref [] in
     let classify_fresh i p =
-      match Cache.find t.cache t.policy dep ~version p with
+      match Cache.find t.cache t.policy t.g dep ~version p with
       | Some b ->
           vals.(i) <- b;
           incr hits
@@ -611,7 +618,7 @@ module Evaluator = struct
        sibling evaluators and plain [h_metric ~cache] calls sharing this
        cache then hit on the whole step. *)
     Array.iteri
-      (fun i p -> Cache.store t.cache t.policy dep ~version p vals.(i))
+      (fun i p -> Cache.store t.cache t.policy t.g dep ~version p vals.(i))
       t.pairs;
     t.prev <- Some (dep, vals);
     t.st <-
@@ -629,4 +636,186 @@ module Evaluator = struct
     | Some (_, vals) -> Array.copy vals
 
   let stats t = t.st
+end
+
+module Replay = struct
+  (* Incremental evaluation along a *topology* trajectory: the
+     deployment and the pair set stay put while the graph takes
+     {!Topology.Graph.Delta} steps.  The pairs are grouped
+     destination-major into the same ≤63-lane words as {!batched_map};
+     each word retains the frozen group state of its last solve
+     ({!Routing.Incremental.Topo.word_state}), and a step re-solves only
+     the words the two-stage topology cone cannot prove untouched —
+     stage 1 the overlay reachability cone, stage 2 the per-word
+     influence test against the frozen state.  Carried words keep their
+     bounds bit-for-bit (a clean verdict is a bit-identity guarantee,
+     which the [topology] check pass enforces against scratch solves).
+
+     Execution is sequential by design: the per-domain batch workspace
+     is reused word to word (the frozen state is copied out before the
+     next checkout), and replay steps are usually dominated by the few
+     dirty words, not by fan-out. *)
+
+  type stats = {
+    steps : int;  (** delta steps taken *)
+    words_solved : int;
+    lanes_solved : int;  (** engine evals: one lane = one (m, d) solve *)
+    lanes_carried : int;
+  }
+
+  type word = {
+    w_dst : int;
+    w_attackers : int array;
+    w_pos : int array; (* indices into the pair array, one per lane *)
+    mutable w_state : Routing.Incremental.Topo.word_state option;
+  }
+
+  type t = {
+    r_policy : Routing.Policy.t;
+    r_dep : Deployment.t;
+    r_pairs : pair array;
+    r_words : word array;
+    mutable r_g : Topology.Graph.t;
+    mutable r_vals : bounds array option;
+    mutable r_st : stats;
+  }
+
+  let create g policy dep pairs =
+    if Deployment.n dep <> Topology.Graph.n g then
+      invalid_arg "Replay.create: deployment size disagrees with the graph";
+    let pairs = Array.copy pairs in
+    let words =
+      Array.map
+        (fun (dst, attackers, pos) ->
+          { w_dst = dst; w_attackers = attackers; w_pos = pos; w_state = None })
+        (batch_plan pairs)
+    in
+    {
+      r_policy = policy;
+      r_dep = dep;
+      r_pairs = pairs;
+      r_words = words;
+      r_g = g;
+      r_vals = None;
+      r_st = { steps = 0; words_solved = 0; lanes_solved = 0; lanes_carried = 0 };
+    }
+
+  (* One batched solve of a word against the current graph: fold the
+     per-lane bounds off the groups (same fold as [batch_item_bounds])
+     and freeze the group state before anything else touches the shared
+     workspace. *)
+  let solve_word t vals w =
+    let n = Topology.Graph.n t.r_g in
+    let b =
+      Routing.Batch.compute
+        ~ws:(Routing.Batch.Workspace.local ())
+        t.r_g t.r_policy t.r_dep ~dst:w.w_dst ~attackers:w.w_attackers
+    in
+    let lanes = Array.length w.w_attackers in
+    let lb = Array.make lanes 0 and ub = Array.make lanes 0 in
+    Routing.Batch.iter_fixed b (fun ~v:_ ~mask ~word ~parent:_ ->
+        let open Routing.Engine.Packed in
+        if cls_code_of word <> 3 && to_d_of word then begin
+          Prelude.Bitset.iter_word (fun l -> ub.(l) <- ub.(l) + 1) mask;
+          if not (to_m_of word) then
+            Prelude.Bitset.iter_word (fun l -> lb.(l) <- lb.(l) + 1) mask
+        end);
+    w.w_state <- Some (Routing.Incremental.Topo.snapshot ~n b);
+    let sources = n - 2 in
+    Array.iteri
+      (fun l j ->
+        vals.(j) <-
+          {
+            lb = Prelude.Stats.fraction lb.(l) sources;
+            ub = Prelude.Stats.fraction ub.(l) sources;
+          })
+      w.w_pos
+
+  let mean pairs vals =
+    let total = Array.length pairs in
+    if total = 0 then { lb = 0.; ub = 0. }
+    else begin
+      let lb = ref 0. and ub = ref 0. in
+      Array.iter
+        (fun b ->
+          lb := !lb +. b.lb;
+          ub := !ub +. b.ub)
+        vals;
+      { lb = !lb /. float_of_int total; ub = !ub /. float_of_int total }
+    end
+
+  let eval t =
+    let vals =
+      match t.r_vals with
+      | Some v -> v
+      | None -> Array.make (Array.length t.r_pairs) { lb = 0.; ub = 0. }
+    in
+    let lanes = ref 0 in
+    Array.iter
+      (fun w ->
+        solve_word t vals w;
+        lanes := !lanes + Array.length w.w_attackers)
+      t.r_words;
+    t.r_vals <- Some vals;
+    t.r_st <-
+      {
+        t.r_st with
+        words_solved = t.r_st.words_solved + Array.length t.r_words;
+        lanes_solved = t.r_st.lanes_solved + !lanes;
+      };
+    mean t.r_pairs vals
+
+  let step t delta =
+    let vals =
+      match t.r_vals with
+      | Some v -> v
+      | None -> invalid_arg "Replay.step: eval the starting graph first"
+    in
+    let old_g = t.r_g in
+    let cone = Routing.Incremental.Topo.cone old_g delta in
+    (* [apply] validates the delta; from here on a clean word verdict is
+       a bit-identity guarantee against a scratch solve on [new_g]. *)
+    let new_g = Topology.Graph.Delta.apply old_g delta in
+    t.r_g <- new_g;
+    let solved = ref 0 and lanes_solved = ref 0 and lanes_carried = ref 0 in
+    Array.iter
+      (fun w ->
+        let coarse =
+          Routing.Incremental.Topo.cone_dirty_dst cone w.w_dst
+          || Array.exists
+               (fun m -> Routing.Incremental.Topo.cone_dirty_dst cone m)
+               w.w_attackers
+        in
+        let dirty =
+          coarse
+          &&
+          match w.w_state with
+          | None -> true
+          | Some st ->
+              Routing.Incremental.Topo.influenced st t.r_dep t.r_policy
+                ~old_graph:old_g ~delta
+        in
+        if dirty then begin
+          solve_word t vals w;
+          incr solved;
+          lanes_solved := !lanes_solved + Array.length w.w_attackers
+        end
+        else lanes_carried := !lanes_carried + Array.length w.w_attackers)
+      t.r_words;
+    t.r_st <-
+      {
+        steps = t.r_st.steps + 1;
+        words_solved = t.r_st.words_solved + !solved;
+        lanes_solved = t.r_st.lanes_solved + !lanes_solved;
+        lanes_carried = t.r_st.lanes_carried + !lanes_carried;
+      };
+    mean t.r_pairs vals
+
+  let values t =
+    match t.r_vals with
+    | None -> invalid_arg "Replay.values: no graph evaluated yet"
+    | Some vals -> Array.copy vals
+
+  let graph t = t.r_g
+  let stats t = t.r_st
 end

@@ -65,54 +65,72 @@ val pair_bounds :
     averages and the unit the incremental machinery caches and checks. *)
 
 (** Concurrent memo cache of per-pair {!bounds}, keyed by
-    policy x deployment version x pair.  Deployment versions are interned
-    by content ({!Deployment.fingerprint} + {!Deployment.equal}), so
-    structurally equal deployments share entries.  Safe to share across
+    policy x (topology, deployment) version x pair.  Versions are
+    interned by content within a topology ({!Topology.Graph.version} +
+    {!Deployment.fingerprint} + {!Deployment.equal}), so structurally
+    equal deployments on the same graph share entries, and two graphs —
+    including a graph and its {!Topology.Graph.Delta.apply} successor —
+    can never serve each other's values.  Safe to share across
     {!Parallel.Pool} worker domains (sharded, per-shard mutexes).
 
     Keys are {e normalized}: when the pair's destination does not sign its
     origin under the keyed deployment, no announcement in the stable state
     is ever secure, so the outcome is independent of both the security
-    model and the deployment.  All such entries collapse onto one reserved
-    slot per local-preference variant — [H(emptyset)] baselines are shared
-    across the three models, and unsigned destinations are shared across
-    every deployment of a rollout.
-
-    A cache is only meaningful for a {e single} topology: keys do not
-    include the graph, so never reuse one cache across graphs. *)
+    model and the deployment (but {e not} of the topology).  All such
+    entries collapse onto one reserved slot per local-preference variant
+    and graph — [H(emptyset)] baselines are shared across the three
+    models, and unsigned destinations are shared across every deployment
+    of a rollout. *)
 module Cache : sig
   type t
 
   val create : ?shards:int -> unit -> t
-  val intern : t -> Deployment.t -> int
-  (** Stable small-int version of a deployment's content. *)
+
+  val intern : t -> Topology.Graph.t -> Deployment.t -> int
+  (** Stable small-int version of a deployment's content on this graph. *)
 
   val find :
-    t -> Routing.Policy.t -> Deployment.t -> version:int -> pair -> bounds option
-  (** [find t policy dep ~version p] with [version = intern t dep].  The
-      deployment is consulted only for key normalization (does [p.dst]
-      sign?); the version carries the identity. *)
+    t ->
+    Routing.Policy.t ->
+    Topology.Graph.t ->
+    Deployment.t ->
+    version:int ->
+    pair ->
+    bounds option
+  (** [find t policy g dep ~version p] with [version = intern t g dep].
+      The deployment is consulted only for key normalization (does
+      [p.dst] sign?), the graph only for the unsigned-destination slot;
+      the version carries the identity. *)
 
   val store :
-    t -> Routing.Policy.t -> Deployment.t -> version:int -> pair -> bounds -> unit
+    t ->
+    Routing.Policy.t ->
+    Topology.Graph.t ->
+    Deployment.t ->
+    version:int ->
+    pair ->
+    bounds ->
+    unit
 
   val carry :
     t ->
     Routing.Policy.t ->
+    Topology.Graph.t ->
     Routing.Incremental.t ->
     old_dep:Deployment.t ->
     new_dep:Deployment.t ->
     attackers:int array ->
     dsts:int array ->
     int
-  (** [carry t policy cone ~old_dep ~new_dep ~attackers ~dsts] republishes,
-      under [new_dep]'s version, the cached bounds of every
+  (** [carry t policy g cone ~old_dep ~new_dep ~attackers ~dsts]
+      republishes, under [new_dep]'s version, the cached bounds of every
       (attacker, dst) pair the dirty [cone] proves unchanged by the
       [old_dep -> new_dep] delta.  [cone] must have been computed for that
-      delta with a destination set covering [dsts].  Pairs with no cached
-      entry under [old_dep] are skipped.  Returns the number of entries
-      carried.  This is how per-destination rollout columns reuse the
-      previous step without a full {!Evaluator} over their pair set. *)
+      delta, on graph [g], with a destination set covering [dsts].  Pairs
+      with no cached entry under [old_dep] are skipped.  Returns the
+      number of entries carried.  This is how per-destination rollout
+      columns reuse the previous step without a full {!Evaluator} over
+      their pair set. *)
 
   val length : t -> int
   val hits : t -> int
@@ -227,4 +245,56 @@ module Evaluator : sig
 
   val stats : t -> stats
   (** Cumulative pair-level counters across all {!eval} calls. *)
+end
+
+(** Incremental evaluation of [H] along a {e topology} trajectory — the
+    dual of {!Evaluator}: the deployment and pair set stay put while the
+    graph takes {!Topology.Graph.Delta} steps (CAIDA monthly-snapshot
+    replays, link-failure what-ifs, perturbation sweeps).
+
+    Pairs are grouped destination-major into words of at most
+    {!Routing.Batch.max_lanes} attackers, exactly as {!h_metric}'s
+    batched path.  Each word retains the frozen group state of its last
+    batched solve; {!Replay.step} re-solves only the words the two-stage
+    topology cone ({!Routing.Incremental.Topo}) cannot prove untouched
+    and carries every other word's bounds bit-for-bit.  Results are
+    bit-identical to a from-scratch {!h_metric} on the stepped graph for
+    every step, model and tiebreak — the [topology] check pass and the
+    qcheck delta-soundness properties enforce this. *)
+module Replay : sig
+  type t
+
+  type stats = {
+    steps : int;  (** {!step} calls so far *)
+    words_solved : int;  (** batched solves run, priming included *)
+    lanes_solved : int;
+        (** engine evaluations: one lane is one (attacker, dst) stable
+            state, the denominator of the ≥5x replay acceptance gate *)
+    lanes_carried : int;  (** lane bounds carried without solving *)
+  }
+
+  val create :
+    Topology.Graph.t -> Routing.Policy.t -> Deployment.t -> pair array -> t
+  (** A fresh replay over the starting graph; no solve happens until
+      {!eval}.  Raises [Invalid_argument] when the deployment size
+      disagrees with the graph. *)
+
+  val eval : t -> bounds
+  (** Prime (or re-prime) every word against the current graph and
+      return [H] over the pairs.  Must run before the first {!step}. *)
+
+  val step : t -> Topology.Graph.Delta.t -> bounds
+  (** Apply the delta to the current graph (validating it), re-solve the
+      dirty words, carry the clean ones, and return [H] on the stepped
+      graph.  Raises [Invalid_argument] on an invalid delta or before
+      the first {!eval}. *)
+
+  val values : t -> bounds array
+  (** Per-pair bounds on the current graph, in pair order.  Raises
+      [Invalid_argument] before the first {!eval}. *)
+
+  val graph : t -> Topology.Graph.t
+  (** The current graph (the seed, stepped by every applied delta). *)
+
+  val stats : t -> stats
 end

@@ -332,7 +332,7 @@ module Max_k = struct
           Routing.Incremental.compute g ~old_dep:e.e_dep ~new_dep:d ~dsts
         in
         ignore
-          (M.Cache.carry cache policy cone ~old_dep:e.e_dep ~new_dep:d
+          (M.Cache.carry cache policy g cone ~old_dep:e.e_dep ~new_dep:d
              ~attackers ~dsts
             : int)
       end;

@@ -293,25 +293,25 @@ let compute ?(tiebreak = Engine.Bounds) ?(attacker_claim = 1) ?ws g policy dep
     let signed = secure in
     let len1 = len + 1 in
     let base = 3 * u in
-    let c0 = Array.unsafe_get xs base in
-    let p0 = Array.unsafe_get xs (base + 1) in
-    let r0 = Array.unsafe_get xs (base + 2) in
-    let rend = Array.unsafe_get xs (base + 3) in
+    let c0 = Bigarray.Array1.unsafe_get xs base in
+    let p0 = Bigarray.Array1.unsafe_get xs (base + 1) in
+    let r0 = Bigarray.Array1.unsafe_get xs (base + 2) in
+    let rend = Bigarray.Array1.unsafe_get xs (base + 3) in
     for i = c0 to p0 - 1 do
-      let w = Array.unsafe_get adj i in
+      let w = Bigarray.Array1.unsafe_get adj i in
       relax w ~mask ~cls_code:2 ~len:len1
         ~secure:(signed && Deployment.is_full dep w)
         ~flags ~parent:u
     done;
     if exports_everywhere || cls_code = 0 then begin
       for i = p0 to r0 - 1 do
-        let w = Array.unsafe_get adj i in
+        let w = Bigarray.Array1.unsafe_get adj i in
         relax w ~mask ~cls_code:1 ~len:len1
           ~secure:(signed && Deployment.is_full dep w)
           ~flags ~parent:u
       done;
       for i = r0 to rend - 1 do
-        let w = Array.unsafe_get adj i in
+        let w = Bigarray.Array1.unsafe_get adj i in
         relax w ~mask ~cls_code:0 ~len:len1
           ~secure:(signed && Deployment.is_full dep w)
           ~flags ~parent:u

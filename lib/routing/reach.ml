@@ -5,8 +5,8 @@ type t = {
   root : int;
 }
 
-let compute g ~root ?(avoid = -1) ?only () =
-  let n = Topology.Graph.n g in
+let compute_view (vw : Topology.Graph.view) ~root ?(avoid = -1) ?only () =
+  let n = vw.Topology.Graph.view_n in
   if root < 0 || root >= n then invalid_arg "Reach.compute: root out of range";
   if root = avoid then invalid_arg "Reach.compute: root = avoid";
   let customer_set = Prelude.Bitset.create n in
@@ -14,19 +14,9 @@ let compute g ~root ?(avoid = -1) ?only () =
   let provider_set = Prelude.Bitset.create n in
   let allowed = match only with None -> fun _ -> true | Some f -> f in
   let ok v = v <> avoid && v <> root && allowed v in
-  (* The three relationship classes are segments of each CSR row; the
-     closures below walk one segment without materializing neighbor
-     arrays. *)
-  let csr = Topology.Graph.csr g in
-  let adj = csr.Topology.Graph.Csr.adj in
-  let xs = csr.Topology.Graph.Csr.xs in
-  let iter_seg f lo hi =
-    for i = lo to hi - 1 do
-      f (Array.unsafe_get adj i)
-    done
-  in
-  let iter_customers f v = iter_seg f xs.(3 * v) xs.((3 * v) + 1) in
-  let iter_providers f v = iter_seg f xs.((3 * v) + 2) xs.((3 * v) + 3) in
+  let iter_customers = vw.Topology.Graph.iter_customers in
+  let iter_peers = vw.Topology.Graph.iter_peers in
+  let iter_providers = vw.Topology.Graph.iter_providers in
   (* Customer routes: climb customer-to-provider edges from the root. *)
   let queue = Queue.create () in
   let push_customer v =
@@ -44,12 +34,9 @@ let compute g ~root ?(avoid = -1) ?only () =
   let has_customer_or_root u = u = root || Prelude.Bitset.mem customer_set u in
   for v = 0 to n - 1 do
     if ok v then begin
-      let hi = xs.((3 * v) + 2) in
-      let rec scan i =
-        i < hi
-        && (has_customer_or_root (Array.unsafe_get adj i) || scan (i + 1))
-      in
-      if scan xs.((3 * v) + 1) then Prelude.Bitset.add peer_set v
+      let found = ref false in
+      iter_peers (fun u -> if (not !found) && has_customer_or_root u then found := true) v;
+      if !found then Prelude.Bitset.add peer_set v
     end
   done;
   (* Provider routes: close downward from anything reachable. *)
@@ -69,10 +56,23 @@ let compute g ~root ?(avoid = -1) ?only () =
   done;
   { customer_set; peer_set; provider_set; root }
 
+(* The plain-graph entry point runs the same closure over the graph's own
+   view: CSR-backed segment scans when the CSR is already built, table
+   iteration otherwise.  Reachability is O(E) queue work either way —
+   the packed kernels ({!Engine}/{!Batch}), not these closures, are the
+   unsafe-access hot path. *)
+let compute g ~root ?(avoid = -1) ?only () =
+  compute_view (Topology.Graph.view g) ~root ~avoid ?only ()
+
 let customer t v = Prelude.Bitset.mem t.customer_set v
 let peer t v = Prelude.Bitset.mem t.peer_set v
 let provider t v = Prelude.Bitset.mem t.provider_set v
 let any t v = customer t v || peer t v || provider t v
+
+let union_into t ~into =
+  Prelude.Bitset.union_into ~into t.customer_set;
+  Prelude.Bitset.union_into ~into t.peer_set;
+  Prelude.Bitset.union_into ~into t.provider_set
 
 let best_class t v =
   if customer t v then Some Policy.Customer

@@ -16,15 +16,23 @@ type params = {
   small_cp_peer_degree : int;
 }
 
+(* The UCLA-2012 graph the paper's Table 1 tier sizes are calibrated
+   against.  At or below this n, [default_params] (and its absolute tier
+   caps) are the historical, bit-stable values; above it the transit and
+   edge tiers scale proportionally with n, because 13 Tier 1s and 300
+   small CPs serving a million stubs is not a plausible Internet. *)
+let calibration_n = 39056
+
 let default_params ~n =
   let scale k = max 2 (min k (n * k / 4000)) in
+  let up k = if n <= calibration_n then k else k * n / calibration_n in
   {
     n;
     n_t1 = (if n >= 2000 then 13 else max 3 (n / 150));
-    n_t2 = scale 100;
-    n_t3 = scale 100;
-    n_cp = (if n >= 2000 then 17 else max 2 (n / 200));
-    n_small_cp = scale 300;
+    n_t2 = up (scale 100);
+    n_t3 = up (scale 100);
+    n_cp = (if n >= 2000 then up 17 else max 2 (n / 200));
+    n_small_cp = up (scale 300);
     frac_mid = 0.12;
     frac_t1_stub = 0.12;
     frac_stub_x = 0.10;
@@ -51,8 +59,64 @@ let level_mid = 3
 let level_edge = 4 (* content providers and small CPs *)
 let level_stub = 5
 
+(* Knob validation.  Every failure names the offending parameter: a
+   degenerate knob otherwise surfaces far away (a division by zero inside
+   [Rng.geometric], an empty [Rng.weighted_index] pool, or — worst — a
+   structurally implausible graph that generates without complaint). *)
+let validate p =
+  let bad knob msg =
+    invalid_arg (Printf.sprintf "Topogen.generate: %s %s" knob msg)
+  in
+  if p.n < 1 then bad "n" "must be positive";
+  let tier knob v = if v < 1 then bad knob "must be at least 1" in
+  tier "n_t1" p.n_t1;
+  tier "n_t2" p.n_t2;
+  tier "n_t3" p.n_t3;
+  tier "n_cp" p.n_cp;
+  tier "n_small_cp" p.n_small_cp;
+  (* [not (v >= 0. && v <= 1.)] rather than [v < 0. || v > 1.]: the
+     former also rejects NaN. *)
+  let frac knob v =
+    if not (v >= 0. && v <= 1.) then bad knob "must lie in [0, 1]"
+  in
+  frac "frac_mid" p.frac_mid;
+  frac "frac_t1_stub" p.frac_t1_stub;
+  frac "frac_stub_x" p.frac_stub_x;
+  if not (p.stub_provider_p > 0. && p.stub_provider_p <= 1.) then
+    bad "stub_provider_p" "must lie in (0, 1]";
+  (* A peer-degree mean of 0 means "no peering for this tier"; any other
+     value must be >= 1 so that 1/mean is a valid geometric parameter. *)
+  let degree knob v =
+    if v < 0 then bad knob "must be non-negative"
+  in
+  degree "t2_peer_degree" p.t2_peer_degree;
+  degree "t3_peer_degree" p.t3_peer_degree;
+  degree "mid_peer_degree" p.mid_peer_degree;
+  degree "cp_peer_degree" p.cp_peer_degree;
+  degree "small_cp_peer_degree" p.small_cp_peer_degree;
+  (* Above the UCLA-2012 calibration point the tier counts must keep
+     tracking n.  [default_params] scales them; hand-rolled params that
+     keep the <= calibration absolutes while n grows produce a graph
+     where each transit AS carries many times the calibrated customer
+     load — reject anything below half the scaled density. *)
+  if p.n > calibration_n then begin
+    let dense knob v cal =
+      let floor_v = cal * p.n / (2 * calibration_n) in
+      if v < floor_v then
+        bad knob
+          (Printf.sprintf
+             "is %d, below half the UCLA-2012-calibrated density for n = %d \
+              (need >= %d)"
+             v p.n floor_v)
+    in
+    dense "n_t2" p.n_t2 100;
+    dense "n_t3" p.n_t3 100;
+    dense "n_small_cp" p.n_small_cp 300
+  end
+
 let generate ?params rng =
   let p = match params with Some p -> p | None -> default_params ~n:4000 in
+  validate p;
   let fixed = p.n_t1 + p.n_t2 + p.n_t3 + p.n_cp + p.n_small_cp in
   let n_mid = int_of_float (float_of_int p.n *. p.frac_mid) in
   if p.n < fixed + n_mid + 10 then

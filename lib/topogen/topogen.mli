@@ -36,10 +36,17 @@ type params = {
   small_cp_peer_degree : int;
 }
 
+val calibration_n : int
+(** Size of the UCLA AS graph of 24 Sep 2012 (39 056 ASes) that the
+    Table-1 tier sizes are calibrated against.  [default_params] is
+    bit-stable for [n <= calibration_n]; above it the transit and edge
+    tier counts scale proportionally with [n]. *)
+
 val default_params : n:int -> params
 (** Tier sizes follow the paper's Table 1 (13 / 100 / 100 / 17 / 300),
-    scaled down when [n] is small; peer-degree parameters are tuned so
-    that the peer/customer edge ratio approximates the UCLA graph's. *)
+    scaled down when [n] is small and proportionally up past
+    [calibration_n]; peer-degree parameters are tuned so that the
+    peer/customer edge ratio approximates the UCLA graph's. *)
 
 type result = {
   graph : Topology.Graph.t;
@@ -49,7 +56,11 @@ type result = {
 
 val generate : ?params:params -> Rng.t -> result
 (** Deterministic for a given generator state.  Raises [Invalid_argument]
-    if [params.n] is too small for the requested tier sizes. *)
+    naming the offending knob if a parameter is out of range: [n] too
+    small for the requested tier sizes, a tier count below 1, a fraction
+    outside [0, 1], [stub_provider_p] outside (0, 1], a negative peer
+    degree, or — for [n] above [calibration_n] — a transit/edge tier
+    count below half the calibrated density (see [calibration_n]). *)
 
 val tiers : result -> Topology.Tiers.t
 (** Classify the generated graph with the designated CP list. *)

@@ -1,0 +1,18 @@
+(* Seeded A3 defects, Bigarray flavour: unsafe off-heap access outside
+   the vetted kernel.  Bigarray.Array1.unsafe_get/set skip bounds checks
+   exactly like Array.unsafe_*, so the same vetting discipline applies. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+module Vetted_kernel = struct
+  (* Allowed: this module is on the fixture kernel list. *)
+  let sum (a : ints) =
+    let s = ref 0 in
+    for i = 0 to Bigarray.Array1.dim a - 1 do
+      s := !s + Bigarray.Array1.unsafe_get a i
+    done;
+    !s
+end
+
+let peek (a : ints) i = Bigarray.Array1.unsafe_get a i
+let poke (a : ints) i v = Bigarray.Array1.unsafe_set a i v

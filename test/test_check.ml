@@ -219,7 +219,7 @@ let full_run_clean () =
   let report = C.run ~options ~tiers r.Core.Topogen.graph in
   Alcotest.(check bool) "report ok" true (D.ok report);
   Alcotest.(check int) "no diagnostics at all" 0 (List.length report.D.diags);
-  Alcotest.(check int) "seven passes ran" 7 (List.length report.D.passes)
+  Alcotest.(check int) "eight passes ran" 8 (List.length report.D.passes)
 
 let run_flags_broken_graph () =
   let g =

@@ -145,6 +145,59 @@ let test_too_small_n () =
        false
      with Invalid_argument _ -> true)
 
+(* ---- Calibration scaling and knob validation (PR 9) --------------- *)
+
+let test_calibration_params () =
+  (* At and below the UCLA-2012 calibration point the defaults are the
+     historical absolutes. *)
+  let p = Topogen.default_params ~n:4000 in
+  Alcotest.(check int) "n_t1 at 4000" 13 p.Topogen.n_t1;
+  Alcotest.(check int) "n_t2 at 4000" 100 p.Topogen.n_t2;
+  Alcotest.(check int) "n_small_cp at 4000" 300 p.Topogen.n_small_cp;
+  let p = Topogen.default_params ~n:Topogen.calibration_n in
+  Alcotest.(check int) "n_t2 at calibration" 100 p.Topogen.n_t2;
+  Alcotest.(check int) "n_cp at calibration" 17 p.Topogen.n_cp;
+  (* Above it, the transit/edge tiers scale proportionally with n. *)
+  let p = Topogen.default_params ~n:(2 * Topogen.calibration_n) in
+  Alcotest.(check int) "n_t2 doubles" 200 p.Topogen.n_t2;
+  Alcotest.(check int) "n_t3 doubles" 200 p.Topogen.n_t3;
+  Alcotest.(check int) "n_cp doubles" 34 p.Topogen.n_cp;
+  Alcotest.(check int) "n_small_cp doubles" 600 p.Topogen.n_small_cp;
+  Alcotest.(check int) "n_t1 stays 13" 13 p.Topogen.n_t1
+
+let expect_knob what knob p =
+  match Topogen.generate ~params:p (Rng.create 0) with
+  | _ -> Alcotest.failf "%s: degenerate params accepted" what
+  | exception Invalid_argument msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S names %S" what msg knob)
+        true (contains msg knob)
+
+let test_knob_validation () =
+  let base = Topogen.default_params ~n:4000 in
+  expect_knob "frac > 1" "frac_mid" { base with Topogen.frac_mid = 1.5 };
+  expect_knob "frac < 0" "frac_t1_stub" { base with Topogen.frac_t1_stub = -0.1 };
+  expect_knob "frac NaN" "frac_stub_x" { base with Topogen.frac_stub_x = Float.nan };
+  expect_knob "p zero" "stub_provider_p" { base with Topogen.stub_provider_p = 0. };
+  expect_knob "p above 1" "stub_provider_p"
+    { base with Topogen.stub_provider_p = 1.5 };
+  expect_knob "tier zero" "n_t1" { base with Topogen.n_t1 = 0 };
+  expect_knob "tier negative" "n_small_cp" { base with Topogen.n_small_cp = -3 };
+  expect_knob "degree negative" "cp_peer_degree"
+    { base with Topogen.cp_peer_degree = -1 };
+  (* Above the calibration point, keeping the small-n absolutes is a
+     silent degeneration — rejected, naming the knob. *)
+  let big = 3 * Topogen.calibration_n in
+  expect_knob "stale tier above calibration" "n_t2"
+    { (Topogen.default_params ~n:big) with Topogen.n_t2 = 100 };
+  expect_knob "stale edge tier above calibration" "n_small_cp"
+    { (Topogen.default_params ~n:big) with Topogen.n_small_cp = 300 }
+
 let () =
   Alcotest.run "topogen"
     [
@@ -158,5 +211,11 @@ let () =
           Alcotest.test_case "T1 clique" `Quick test_t1_clique;
           Alcotest.test_case "edge ratio" `Quick test_edge_ratio;
           Alcotest.test_case "n too small" `Quick test_too_small_n;
+        ] );
+      ( "calibration",
+        [
+          Alcotest.test_case "default params scale" `Quick
+            test_calibration_params;
+          Alcotest.test_case "knob validation" `Quick test_knob_validation;
         ] );
     ]

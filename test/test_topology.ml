@@ -102,6 +102,205 @@ let test_serial_file_roundtrip () =
       Alcotest.(check bool) "edges equal" true
         (List.sort compare (Graph.edges g) = List.sort compare (Graph.edges g2)))
 
+(* ---- Binary snapshots --------------------------------------------- *)
+
+let ints_equal (x : Graph.ints) (y : Graph.ints) =
+  Bigarray.Array1.dim x = Bigarray.Array1.dim y
+  &&
+  let ok = ref true in
+  for i = 0 to Bigarray.Array1.dim x - 1 do
+    if x.{i} <> y.{i} then ok := false
+  done;
+  !ok
+
+let csr_identical a b =
+  let ca = Graph.csr a and cb = Graph.csr b in
+  Graph.n a = Graph.n b
+  && ints_equal ca.Graph.Csr.xs cb.Graph.Csr.xs
+  && ints_equal ca.Graph.Csr.adj cb.Graph.Csr.adj
+
+let with_snapshot_file f =
+  let path = Filename.temp_file "sbgp_test" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_snapshot_roundtrip =
+  qtest "snapshot round trip is bit-identical" ~count:100 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:40 in
+      with_snapshot_file (fun path ->
+          Serial.save_snapshot path g;
+          let g2 = Serial.load_snapshot path in
+          csr_identical g g2
+          && Graph.num_customer_provider_edges g
+             = Graph.num_customer_provider_edges g2
+          && Graph.num_peer_edges g = Graph.num_peer_edges g2
+          && Graph.version g <> Graph.version g2
+          && List.sort compare (Graph.edges g)
+             = List.sort compare (Graph.edges g2)))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* [mutate] maps the on-disk bytes to a corrupted variant; the load must
+   then fail with a message containing [expect]. *)
+let expect_load_failure what g ~mutate ~expect =
+  with_snapshot_file (fun path ->
+      Serial.save_snapshot path g;
+      write_file path (mutate (read_file path));
+      match Serial.load_snapshot path with
+      | _ -> Alcotest.failf "%s: corrupted snapshot loaded" what
+      | exception Failure msg ->
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            m = 0 || go 0
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %S mentions %S" what msg expect)
+            true (contains msg expect))
+
+let set_byte s pos c =
+  let b = Bytes.of_string s in
+  Bytes.set b pos c;
+  Bytes.to_string b
+
+let test_snapshot_errors () =
+  let g = graph 3 [ c2p 1 0; p2p 1 2 ] in
+  expect_load_failure "magic" g
+    ~mutate:(fun s -> set_byte s 0 'X')
+    ~expect:"bad magic";
+  expect_load_failure "version" g
+    ~mutate:(fun s -> set_byte s 8 '\x63')
+    ~expect:"format version 99";
+  expect_load_failure "word size" g
+    ~mutate:(fun s -> set_byte s 16 '\x04')
+    ~expect:"payload word size";
+  expect_load_failure "truncated header" g
+    ~mutate:(fun s -> String.sub s 0 17)
+    ~expect:"truncated header";
+  expect_load_failure "truncated payload" g
+    ~mutate:(fun s -> String.sub s 0 (String.length s - 8))
+    ~expect:"truncated payload";
+  expect_load_failure "trailing bytes" g
+    ~mutate:(fun s -> s ^ "junk8bytes")
+    ~expect:"trailing bytes";
+  expect_load_failure "digest" g
+    ~mutate:(fun s ->
+      let pos = Serial.snapshot_payload_offset + 3 in
+      set_byte s pos (Char.chr (Char.code s.[pos] lxor 0x20)))
+    ~expect:"digest mismatch";
+  (* Payload corruption that keeps the digest out of the way: zero the
+     stored digest AND break CSR monotonicity is hard to stage by hand,
+     but a wrong header count with a matching digest must still be
+     rejected by the CSR cross-checks — here the digest catches it
+     first, which is fine; the qcheck round trip plus Check.Topo's
+     corruption gate cover the rest. *)
+  ()
+
+let test_snapshot_empty_graph () =
+  let g = Graph.of_edges ~n:1 [] in
+  with_snapshot_file (fun path ->
+      Serial.save_snapshot path g;
+      let g2 = Serial.load_snapshot path in
+      Alcotest.(check int) "n" 1 (Graph.n g2);
+      Alcotest.(check int) "edges" 0 (Graph.num_peer_edges g2))
+
+(* ---- Topology deltas ---------------------------------------------- *)
+
+(* Reference semantics: apply the ops to the edge list and rebuild. *)
+let edge_pair = function
+  | Graph.Customer_provider (a, b) -> if a < b then (a, b) else (b, a)
+  | Graph.Peer_peer (a, b) -> if a < b then (a, b) else (b, a)
+
+let reference_apply g (delta : Graph.Delta.t) =
+  let edges = ref (Graph.edges g) in
+  Array.iter
+    (fun op ->
+      match op with
+      | Graph.Delta.Add e -> edges := e :: !edges
+      | Graph.Delta.Remove e | Graph.Delta.Flip e ->
+          let p = edge_pair e in
+          edges := List.filter (fun e' -> edge_pair e' <> p) !edges;
+          (match op with
+          | Graph.Delta.Flip e -> edges := e :: !edges
+          | _ -> ()))
+    delta;
+  Graph.of_edges ~n:(Graph.n g) !edges
+
+let test_delta_apply =
+  qtest "Delta.apply matches the edge-list reference" ~count:300 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let delta = random_delta rng g in
+      let got = Graph.Delta.apply g delta in
+      let want = reference_apply g delta in
+      csr_identical got want && Graph.version got <> Graph.version g)
+
+let collect_view (vw : Graph.view) v =
+  let seg iter =
+    let acc = ref [] in
+    iter (fun u -> acc := u :: !acc) v;
+    List.sort compare !acc
+  in
+  ( seg vw.Graph.iter_customers,
+    seg vw.Graph.iter_peers,
+    seg vw.Graph.iter_providers )
+
+let test_delta_overlay =
+  qtest "overlay view equals the applied graph's view" ~count:300 (fun seed ->
+      let rng = Rng.create seed in
+      let g = random_graph rng ~max_n:30 in
+      let delta = random_delta rng g in
+      let ov = Graph.overlay g delta in
+      let applied = Graph.view (Graph.Delta.apply g delta) in
+      let ok = ref (ov.Graph.view_n = applied.Graph.view_n) in
+      for v = 0 to Graph.n g - 1 do
+        if collect_view ov v <> collect_view applied v then ok := false
+      done;
+      !ok)
+
+let test_delta_endpoints () =
+  let g = graph 4 [ c2p 1 0; c2p 2 0; c2p 3 1 ] in
+  let delta =
+    [| Graph.Delta.Flip (p2p 0 1); Graph.Delta.Remove (c2p 3 1) |]
+  in
+  Alcotest.(check (array int))
+    "endpoints sorted uniq" [| 0; 1; 3 |]
+    (Graph.Delta.endpoints delta);
+  let g2 = Graph.Delta.apply g delta in
+  Alcotest.(check bool)
+    "flip applied" true
+    (Graph.relationship g2 0 1 = Some (p2p 0 1));
+  Alcotest.(check bool) "remove applied" true (Graph.relationship g2 3 1 = None)
+
+let test_delta_invalid () =
+  let g = graph 3 [ c2p 1 0; p2p 1 2 ] in
+  let expect_invalid what delta =
+    match Graph.Delta.apply g delta with
+    | _ -> Alcotest.failf "%s: invalid delta applied" what
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "add adjacent" [| Graph.Delta.Add (p2p 0 1) |];
+  expect_invalid "remove absent" [| Graph.Delta.Remove (c2p 2 0) |];
+  expect_invalid "remove wrong class" [| Graph.Delta.Remove (p2p 0 1) |];
+  expect_invalid "flip same class" [| Graph.Delta.Flip (c2p 1 0) |];
+  expect_invalid "flip absent" [| Graph.Delta.Flip (p2p 0 2) |];
+  expect_invalid "self loop" [| Graph.Delta.Add (p2p 1 1) |];
+  expect_invalid "out of range" [| Graph.Delta.Add (p2p 1 7) |];
+  expect_invalid "duplicate pair"
+    [| Graph.Delta.Remove (c2p 1 0); Graph.Delta.Add (c2p 1 0) |]
+
 (* Tiers per Table 1 on a small hand graph. *)
 let test_tiers () =
   (* 0,1: provider-less with customers (T1); 2: transit with providers;
@@ -175,6 +374,20 @@ let () =
           Alcotest.test_case "sparse ASN remapping" `Quick test_serial_remapped;
           Alcotest.test_case "extra fields tolerated" `Quick
             test_serial_extra_fields;
+        ] );
+      ( "snapshot",
+        [
+          test_snapshot_roundtrip;
+          Alcotest.test_case "corruption rejected" `Quick test_snapshot_errors;
+          Alcotest.test_case "empty graph" `Quick test_snapshot_empty_graph;
+        ] );
+      ( "delta",
+        [
+          test_delta_apply;
+          test_delta_overlay;
+          Alcotest.test_case "endpoints and apply" `Quick test_delta_endpoints;
+          Alcotest.test_case "invalid deltas rejected" `Quick
+            test_delta_invalid;
         ] );
       ( "tiers",
         [

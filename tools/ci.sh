@@ -88,4 +88,24 @@ echo "== optimize bench (smoke)"
 SBGP_BENCH_ONLY=optimize SBGP_BENCH_N=250 SBGP_BENCH_OPT_CANDS=8 \
   SBGP_BENCH_OPT_K=3 dune exec bench/main.exe
 
+echo "== snapshot round trip + sbgp check --kernel (smoke)"
+# Emit a toy binary snapshot alongside the text graph, then drive the
+# kernel identity pass from the reloaded snapshot: proves the CLI sniffs
+# the snapshot magic and the mmap-loaded CSR is solve-identical to a
+# freshly generated graph's.
+snap_dir=$(mktemp -d)
+dune exec bin/sbgp.exe -- gen -n 200 -o "$snap_dir/toy.txt" \
+  --snapshot "$snap_dir/toy.snap"
+dune exec bin/sbgp.exe -- check --kernel --graph "$snap_dir/toy.snap" --pairs 4
+dune exec bin/sbgp.exe -- check --topology --graph "$snap_dir/toy.snap" \
+  --inc-pairs 4
+rm -rf "$snap_dir"
+
+echo "== topology bench (smoke)"
+# Toy-scale run of the snapshot-load + delta-replay benchmark: the CSR
+# bit-identity gate and the replay-vs-scratch identity gate inside it
+# are the point, not the timing.
+SBGP_BENCH_ONLY=topology SBGP_BENCH_N=300 SBGP_BENCH_TOPO_STEPS=4 \
+  dune exec bench/main.exe
+
 echo "ci: all green"
