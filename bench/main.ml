@@ -708,7 +708,7 @@ let run_kernel_bench () =
   let tiebreaks = [ Core.Engine.Bounds; Core.Engine.Lowest_next_hop ] in
   let runs_per_round = Array.length pairs * List.length policies * 2 in
   let round f =
-    let m0 = Gc.minor_words () in
+    let q0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun policy ->
@@ -718,7 +718,12 @@ let run_kernel_bench () =
               tiebreaks)
           pairs)
       policies;
-    (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
+    let dt = Unix.gettimeofday () -. t0 in
+    let q1 = Gc.quick_stat () in
+    ( dt,
+      q1.Gc.minor_words -. q0.Gc.minor_words,
+      q1.Gc.promoted_words -. q0.Gc.promoted_words,
+      float_of_int (q1.Gc.major_collections - q0.Gc.major_collections) )
   in
   let ews = Core.Engine.Workspace.create nn in
   let rws = Core.Reference.Workspace.create nn in
@@ -743,25 +748,30 @@ let run_kernel_bench () =
   done;
   let total acc f = List.fold_left (fun s x -> s +. f x) 0. !acc in
   let stats (_, acc) =
-    let s = total acc fst in
-    let words = total acc snd in
+    let s = total acc (fun (t, _, _, _) -> t) in
+    let words = total acc (fun (_, w, _, _) -> w) in
+    let promoted = total acc (fun (_, _, p, _) -> p) in
+    let majors = total acc (fun (_, _, _, m) -> m) in
     let runs = float_of_int (runs_per_round * reps) in
-    (runs /. s, words /. runs)
+    (runs /. s, words /. runs, promoted /. runs, majors /. runs)
   in
-  let eng_rate, eng_words = stats sides.(0) in
-  let fresh_rate, fresh_words = stats sides.(1) in
-  let ref_rate, ref_words = stats sides.(2) in
+  let eng_rate, eng_words, eng_prom, eng_maj = stats sides.(0) in
+  let fresh_rate, fresh_words, fresh_prom, fresh_maj = stats sides.(1) in
+  let ref_rate, ref_words, ref_prom, ref_maj = stats sides.(2) in
   let speedup = eng_rate /. ref_rate in
   Printf.printf
     "#### Kernel (n=%d, %d pairs x %d policies x 2 tiebreaks x %d reps) ####\n\
-    \     packed+ws   %10.1f pairs/s  %10.0f minor words/pair\n\
-    \     packed      %10.1f pairs/s  %10.0f minor words/pair\n\
-    \     reference   %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     packed+ws   %10.1f pairs/s  %10.0f minor words/pair  %8.1f \
+     promoted/pair\n\
+    \     packed      %10.1f pairs/s  %10.0f minor words/pair  %8.1f \
+     promoted/pair\n\
+    \     reference   %10.1f pairs/s  %10.0f minor words/pair  %8.1f \
+     promoted/pair\n\
     \     speedup (packed+ws vs reference): x%.2f; identity gate %.3fs \
      (untimed)\n\n\
      %!"
-    n k (List.length policies) reps eng_rate eng_words fresh_rate fresh_words
-    ref_rate ref_words speedup gate_s;
+    n k (List.length policies) reps eng_rate eng_words eng_prom fresh_rate
+    fresh_words fresh_prom ref_rate ref_words ref_prom speedup gate_s;
   [
     ("pairs", float_of_int (Array.length pairs));
     ("runs", float_of_int (runs_per_round * reps));
@@ -771,6 +781,12 @@ let run_kernel_bench () =
     ("engine_minor_words_per_pair", eng_words);
     ("engine_fresh_minor_words_per_pair", fresh_words);
     ("reference_minor_words_per_pair", ref_words);
+    ("engine_promoted_words_per_pair", eng_prom);
+    ("engine_fresh_promoted_words_per_pair", fresh_prom);
+    ("reference_promoted_words_per_pair", ref_prom);
+    ("engine_major_collections_per_pair", eng_maj);
+    ("engine_fresh_major_collections_per_pair", fresh_maj);
+    ("reference_major_collections_per_pair", ref_maj);
     ("speedup", speedup);
     ("gate_s", gate_s);
     ("identity_gate", 1.);
@@ -836,7 +852,7 @@ let run_batch_bench () =
   let pairs_per_round = lanes_total * List.length policies * 2 in
   let solves_per_round = Array.length batches * List.length policies * 2 in
   let round f =
-    let m0 = Gc.minor_words () in
+    let q0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun policy ->
@@ -847,7 +863,12 @@ let run_batch_bench () =
               tiebreaks)
           batches)
       policies;
-    (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0)
+    let dt = Unix.gettimeofday () -. t0 in
+    let q1 = Gc.quick_stat () in
+    ( dt,
+      q1.Gc.minor_words -. q0.Gc.minor_words,
+      q1.Gc.promoted_words -. q0.Gc.promoted_words,
+      float_of_int (q1.Gc.major_collections - q0.Gc.major_collections) )
   in
   let bws = Core.Batch.Workspace.create nn in
   let ews = Core.Engine.Workspace.create nn in
@@ -870,13 +891,17 @@ let run_batch_bench () =
   done;
   let total acc f = List.fold_left (fun s x -> s +. f x) 0. !acc in
   let stats (_, acc) =
-    let s = total acc fst in
-    let words = total acc snd in
+    let s = total acc (fun (t, _, _, _) -> t) in
+    let words = total acc (fun (_, w, _, _) -> w) in
+    let promoted = total acc (fun (_, _, p, _) -> p) in
+    let majors = total acc (fun (_, _, _, m) -> m) in
     let runs = float_of_int (pairs_per_round * reps) in
-    (runs /. s, words /. runs, s)
+    (runs /. s, words /. runs, promoted /. runs, majors /. runs, s)
   in
-  let batch_rate, batch_words, batch_s = stats sides.(0) in
-  let eng_rate, eng_words, _ = stats sides.(1) in
+  let batch_rate, batch_words, batch_prom, batch_maj, batch_s =
+    stats sides.(0)
+  in
+  let eng_rate, eng_words, eng_prom, eng_maj, _ = stats sides.(1) in
   let speedup = batch_rate /. eng_rate in
   let lanes_avg =
     float_of_int lanes_total /. float_of_int (Array.length batches)
@@ -884,16 +909,17 @@ let run_batch_bench () =
   Printf.printf
     "#### Batch kernel (n=%d, %d dsts x %.1f lanes x %d policies x 2 \
      tiebreaks x %d reps) ####\n\
-    \     batch       %10.1f pairs/s  %10.0f minor words/pair  (%.1f \
-     solves/s)\n\
-    \     engine+ws   %10.1f pairs/s  %10.0f minor words/pair\n\
+    \     batch       %10.1f pairs/s  %10.0f minor words/pair  %8.1f \
+     promoted/pair  (%.1f solves/s)\n\
+    \     engine+ws   %10.1f pairs/s  %10.0f minor words/pair  %8.1f \
+     promoted/pair\n\
     \     speedup (batch vs engine+ws): x%.2f; identity gate %.3fs \
      (untimed)\n\n\
      %!"
     n (Array.length batches) lanes_avg (List.length policies) reps batch_rate
-    batch_words
+    batch_words batch_prom
     (float_of_int (solves_per_round * reps) /. batch_s)
-    eng_rate eng_words speedup gate_s;
+    eng_rate eng_words eng_prom speedup gate_s;
   [
     ("dsts", float_of_int (Array.length batches));
     ("attackers_per_solve", lanes_avg);
@@ -901,9 +927,13 @@ let run_batch_bench () =
     ("runs", float_of_int (pairs_per_round * reps));
     ("batch_pairs_per_s", batch_rate);
     ("batch_minor_words_per_pair", batch_words);
+    ("batch_promoted_words_per_pair", batch_prom);
+    ("batch_major_collections_per_pair", batch_maj);
     ("batch_solves_per_s", float_of_int (solves_per_round * reps) /. batch_s);
     ("engine_pairs_per_s", eng_rate);
     ("engine_minor_words_per_pair", eng_words);
+    ("engine_promoted_words_per_pair", eng_prom);
+    ("engine_major_collections_per_pair", eng_maj);
     ("speedup", speedup);
     ("gate_s", gate_s);
     ("identity_gate", 1.);
@@ -1194,18 +1224,27 @@ let run_optimize_bench () =
   Fun.protect
     ~finally:(fun () -> Core.Parallel.Pool.shutdown pool)
     (fun () ->
+      (* Gc counters are per-domain: the deltas below cover the main
+         domain only (coordination, queue upkeep, result assembly) —
+         the pool workers' heaps are not included. *)
       let time f =
+        let q0 = Gc.quick_stat () in
         let t0 = Unix.gettimeofday () in
         let x = f () in
-        (x, Unix.gettimeofday () -. t0)
+        let dt = Unix.gettimeofday () -. t0 in
+        let q1 = Gc.quick_stat () in
+        ( x,
+          dt,
+          q1.Gc.promoted_words -. q0.Gc.promoted_words,
+          float_of_int (q1.Gc.major_collections - q0.Gc.major_collections) )
       in
-      let naive, naive_s =
+      let naive, naive_s, naive_prom, naive_maj =
         time (fun () ->
             Core.Optimize.Max_k.greedy ~pool ~objective:`Lb ~base g policy
               ~pairs ~k ~candidates)
       in
       let cache = Core.Metric.Cache.create () in
-      let celf, celf_s =
+      let celf, celf_s, celf_prom, celf_maj =
         time (fun () ->
             Core.Optimize.Max_k.celf ~pool ~cache ~objective:`Lb ~base g
               policy ~pairs ~k ~candidates)
@@ -1250,6 +1289,13 @@ let run_optimize_bench () =
         ("celf_evals", float_of_int celf_evals);
         ("celf_evals_per_step", float_of_int celf_evals /. fsteps);
         ("celf_gain_evals", float_of_int celf.Core.Optimize.Max_k.gain_evals);
+        (* Pair evaluations = engine evals x |pairs|; main domain only. *)
+        ( "naive_promoted_words_per_pair",
+          naive_prom /. float_of_int (naive_evals * Array.length pairs) );
+        ( "celf_promoted_words_per_pair",
+          celf_prom /. float_of_int (celf_evals * Array.length pairs) );
+        ("naive_major_collections", naive_maj);
+        ("celf_major_collections", celf_maj);
         ("eval_ratio", ratio);
         ("speedup", naive_s /. celf_s);
         ("identity_gate", 1.);

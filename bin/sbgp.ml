@@ -334,6 +334,20 @@ let check_cmd =
              and topology-delta replay must be bit-identical to \
              from-scratch computation along a seeded delta chain.")
   in
+  let alloc_arg =
+    Arg.(
+      value & flag
+      & info [ "alloc" ]
+          ~doc:
+            "Run only the allocation gate: minor words per (destination, \
+             attacker) pair of the scalar, batched and reference kernels \
+             with reused workspaces, measured against recorded budgets \
+             (override with SBGP_ALLOC_BUDGET_{SCALAR,BATCH,REFERENCE}); \
+             every measured loop is identity-gated and a cold-vs-warm \
+             probe of the metric cache demands bit-identical H.  Runs \
+             single-domain — the dynamic complement of the static \
+             ast/hot-alloc and ast/cache-pure rules.")
+  in
   let static_arg =
     Arg.(
       value & flag
@@ -357,15 +371,14 @@ let check_cmd =
            `dune build @check` first (or set SBGP_CMT_ROOT)";
         exit 2
     | Some root ->
-        let allowlist_file =
+        let manifest name =
           List.find_opt Sys.file_exists
-            [
-              Filename.concat root "tools/astlint/allowlist.txt";
-              "tools/astlint/allowlist.txt";
-            ]
+            [ Filename.concat root name; name ]
         in
+        let allowlist_file = manifest "tools/astlint/allowlist.txt" in
+        let budget_file = manifest "tools/astlint/alloc_budget.txt" in
         let outcome =
-          Core.Analysis.analyze ?allowlist_file ~root
+          Core.Analysis.analyze ?allowlist_file ?budget_file ~root
             ~dirs:Core.Analysis.default_dirs ()
         in
         print_string
@@ -374,7 +387,7 @@ let check_cmd =
           exit 1
   in
   let run n seed ixp scale domains graph_file pairs det_pairs claim mutants
-      rules inc_pairs incremental kernel optimize topology static =
+      rules inc_pairs incremental kernel optimize topology alloc static =
     if rules then
       List.iter
         (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
@@ -419,6 +432,8 @@ let check_cmd =
             ctx.Core.Experiments.Context.graph
         else if topology then
           Core.Check.run_topology ~options ctx.Core.Experiments.Context.graph
+        else if alloc then
+          Core.Check.run_alloc ~options ctx.Core.Experiments.Context.graph
         else
           Core.Check.run ~options
             ~tiers:ctx.Core.Experiments.Context.tiers ?base
@@ -442,7 +457,7 @@ let check_cmd =
       const run $ n_arg $ seed_arg $ ixp_arg $ scale_arg $ domains_arg
       $ graph_arg $ pairs_arg $ det_pairs_arg $ claim_arg $ mutants_arg
       $ rules_arg $ inc_pairs_arg $ incremental_arg $ kernel_arg
-      $ optimize_arg $ topology_arg $ static_arg)
+      $ optimize_arg $ topology_arg $ alloc_arg $ static_arg)
 
 let info_cmd =
   let run n seed ixp scale domains graph_file =

@@ -15,6 +15,7 @@ module Cmt_loader = Cmt_loader
 module Unit_info = Unit_info
 module Typereg = Typereg
 module Allowlist = Allowlist
+module Budget = Budget
 module Callgraph = Callgraph
 module Lockreg = Lockreg
 module Rules = Rules
@@ -77,8 +78,8 @@ let load_units ?cache files =
   in
   (List.rev units, List.rev diags, !cached)
 
-let analyze ?(config = fun allow -> Rules.default ~allow ())
-    ?allowlist_file ?cache_path ~root ~dirs () =
+let analyze ?(config = fun allow budget -> Rules.default ~allow ~budget ())
+    ?allowlist_file ?budget_file ?cache_path ~root ~dirs () =
   let files = Cmt_loader.scan ~root ~dirs in
   let allow, allow_diags =
     match allowlist_file with
@@ -88,6 +89,19 @@ let analyze ?(config = fun allow -> Rules.default ~allow ())
         | Ok a -> (a, [])
         | Error msg ->
             ( Allowlist.empty,
+              [
+                D.error ~rule:Rules.rule_allowlist
+                  (Printf.sprintf "%s: %s" f msg);
+              ] ))
+  in
+  let budget, budget_diags =
+    match budget_file with
+    | None -> (Budget.empty, [])
+    | Some f -> (
+        match Budget.load f with
+        | Ok b -> (b, [])
+        | Error msg ->
+            ( Budget.empty,
               [
                 D.error ~rule:Rules.rule_allowlist
                   (Printf.sprintf "%s: %s" f msg);
@@ -113,17 +127,18 @@ let analyze ?(config = fun allow -> Rules.default ~allow ())
   (match (cache, cache_path) with
   | Some c, Some p -> Cmt_loader.Cache.save c ~path:p
   | _ -> ());
-  let cfg = config allow in
+  let cfg = config allow budget in
   let reg = Typereg.build units in
   let graph = Callgraph.build units in
   let findings =
-    Rules.apply ?allow_source:allowlist_file cfg reg graph units
+    Rules.apply ?allow_source:allowlist_file ?budget_source:budget_file cfg
+      reg graph units
   in
   let rule_diags = List.map Rules.to_diag findings in
   let report =
     let r =
       D.add_pass D.empty_report "ast/load" ~items:(List.length files)
-        (allow_diags @ missing_diags @ read_diags)
+        (allow_diags @ budget_diags @ missing_diags @ read_diags)
     in
     D.add_pass r "ast/rules" ~items:(List.length units) rule_diags
   in
@@ -140,7 +155,11 @@ let analyze ?(config = fun allow -> Rules.default ~allow ())
 
 let fixture_dir = "test/fixtures/astlint"
 
-let fixture_config allow =
+let fixture_config allow budget =
+  (* The fixture corpus carries its own exact budget so the budgeted-ok
+     case in a9_hot_alloc.ml stays silent; the file-level manifest
+     (if any) is ignored for fixtures. *)
+  ignore budget;
   {
     Rules.hot_scopes = [ fixture_dir ];
     swallow_scopes = [ fixture_dir ];
@@ -158,12 +177,32 @@ let fixture_config allow =
         "Stdlib.Domain.spawn" ];
     lock_brackets = [ "Stdlib.Mutex.protect" ];
     workspace_specs = [ "Routing.Engine.Workspace.t" ];
+    hot_entries = [ "Astlint_fixtures.A9_hot_alloc.kernel_entry" ];
+    cache_api =
+      [
+        "Astlint_fixtures.A10_cache_impure.Cache.find";
+        "Astlint_fixtures.A10_cache_impure.Cache.store";
+      ];
+    cache_impl = [ "Astlint_fixtures.A10_cache_impure.Cache.*" ];
+    budget =
+      Budget.v
+        [
+          {
+            Budget.target = "Astlint_fixtures.A9_hot_alloc.budgeted_helper";
+            count = 1;
+            reason = "fixture: one sprintf site, paid for on purpose";
+            line = 1;
+          };
+        ];
     allow;
   }
 
 let expected_rule_of_fixture base =
-  let pre n = String.length base >= 3 && String.sub base 0 3 = n in
-  if pre "a1_" then Some (Some Rules.rule_poly)
+  let pre n =
+    String.length base >= String.length n && String.sub base 0 (String.length n) = n
+  in
+  if pre "a10_" then Some (Some Rules.rule_pure)
+  else if pre "a1_" then Some (Some Rules.rule_poly)
   else if pre "a2_" then Some (Some Rules.rule_taint)
   else if pre "a3_" then Some (Some Rules.rule_unsafe)
   else if pre "a4_" then Some (Some Rules.rule_float)
@@ -171,6 +210,7 @@ let expected_rule_of_fixture base =
   else if pre "a6_" then Some (Some Rules.rule_escape)
   else if pre "a7_" then Some (Some Rules.rule_lock)
   else if pre "a8_" then Some (Some Rules.rule_epoch)
+  else if pre "a9_" then Some (Some Rules.rule_alloc)
   else if pre "ok_" then Some None
   else None
 

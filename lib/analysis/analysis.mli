@@ -3,8 +3,8 @@
     Loads the binary annotations a prior [dune build @check] produced,
     walks each Typedtree once, builds a type-immediacy registry, an
     inter-module call graph and a mutex-guard registry, and applies the
-    A1–A8 rule catalogue (DESIGN.md §11, §13).  Findings carry stable
-    [ast/*] rule ids and render as ordinary {!Check.Diagnostic}
+    A1–A10 rule catalogue (DESIGN.md §11, §13, §16).  Findings carry
+    stable [ast/*] rule ids and render as ordinary {!Check.Diagnostic}
     values. *)
 
 module Syms = Syms
@@ -12,6 +12,7 @@ module Cmt_loader = Cmt_loader
 module Unit_info = Unit_info
 module Typereg = Typereg
 module Allowlist = Allowlist
+module Budget = Budget
 module Callgraph = Callgraph
 module Lockreg = Lockreg
 module Rules = Rules
@@ -27,29 +28,32 @@ val default_dirs : string list
 (** [["lib"; "bin"]] — the production scan. *)
 
 val analyze :
-  ?config:(Allowlist.t -> Rules.config) ->
+  ?config:(Allowlist.t -> Budget.t -> Rules.config) ->
   ?allowlist_file:string ->
+  ?budget_file:string ->
   ?cache_path:string ->
   root:string ->
   dirs:string list ->
   unit ->
   outcome
 (** Scan [root]/[dirs] for [.cmt] files, walk them and apply the rules.
-    Unreadable artifacts, an empty scan and allowlist parse errors all
-    surface as diagnostics ([ast/cmt-unreadable], [ast/cmt-missing],
-    [ast/allowlist]) rather than exceptions.  [cache_path] enables the
-    digest cache: unchanged units are served from the previous run's
-    snapshot and the snapshot is rewritten afterwards. *)
+    Unreadable artifacts, an empty scan and allowlist/budget parse
+    errors all surface as diagnostics ([ast/cmt-unreadable],
+    [ast/cmt-missing], [ast/allowlist]) rather than exceptions.
+    [cache_path] enables the digest cache: unchanged units are served
+    from the previous run's snapshot and the snapshot is rewritten
+    afterwards. *)
 
 (** {1 Fixture corpus (false-negative guard)} *)
 
 val fixture_dir : string
 (** ["test/fixtures/astlint"] *)
 
-val fixture_config : Allowlist.t -> Rules.config
-(** Scopes, kernel allowlist, taint roots and domain-safety entries
-    aimed at the deliberately bad fixture corpus instead of the
-    production tree. *)
+val fixture_config : Allowlist.t -> Budget.t -> Rules.config
+(** Scopes, kernel allowlist, taint roots, domain-safety entries and
+    an exact in-memory allocation budget aimed at the deliberately bad
+    fixture corpus instead of the production tree (the [Budget.t]
+    argument is ignored — fixtures carry their own). *)
 
 val fixture_failures : outcome -> string list
 (** Every [aN_*.ml] fixture must fire its rule, every [ok_*.ml] must

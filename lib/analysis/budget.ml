@@ -1,0 +1,99 @@
+(* The per-symbol allocation budget for the hot-path rule (A9).
+
+   Like the allowlist, every budgeted hot-path allocation lives in one
+   reviewed file (by default tools/astlint/alloc_budget.txt) so the
+   complete set of "allocations we pay for on purpose" is auditable at
+   a glance.  Line format:
+
+     <canonical-symbol>  <count>  -- <reason>
+
+   e.g.
+
+     Routing.Batch.compute  3  -- per-call outcome record + two
+       group descriptors; amortized over 63 attacker lanes
+
+   '#' starts a comment; the reason after "--" is mandatory.  The
+   count is the number of static allocation sites the symbol is
+   allowed, not a dynamic word budget (the dynamic side is measured by
+   `sbgp check --alloc`).  Entries are exact-or-prefix like allowlist
+   targets ("Routing.Staged.*" style specs via {!Syms.spec_matches});
+   the rules flag entries whose symbol no longer has any reachable
+   allocation (stale) and entries whose count exceeds what the code
+   actually does (loose), so the manifest ratchets down with the
+   code. *)
+
+type entry = { target : string; count : int; reason : string; line : int }
+type t = { entries : entry list }
+
+let empty = { entries = [] }
+let v entries = { entries }
+
+let parse_line ~line s =
+  let s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let s = String.trim s in
+  if s = "" then Ok None
+  else
+    let body, reason =
+      let n = String.length s in
+      let rec find i =
+        if i + 1 >= n then None
+        else if s.[i] = '-' && s.[i + 1] = '-' then Some i
+        else find (i + 1)
+      in
+      match find 0 with
+      | Some i ->
+          ( String.trim (String.sub s 0 i),
+            String.trim (String.sub s (i + 2) (n - i - 2)) )
+      | None -> (s, "")
+    in
+    match
+      String.split_on_char ' ' body |> List.filter (fun w -> w <> "")
+    with
+    | [ target; count ] when reason <> "" -> (
+        match int_of_string_opt count with
+        | Some c when c > 0 ->
+            Ok (Some { target = Syms.canon_string target; count = c; reason; line })
+        | Some _ ->
+            Error
+              (Printf.sprintf "line %d: count must be positive (omit the \
+                               entry for a zero budget)" line)
+        | None ->
+            Error
+              (Printf.sprintf "line %d: count %S is not an integer" line
+                 count))
+    | [ _; _ ] -> Error (Printf.sprintf "line %d: missing -- reason" line)
+    | _ ->
+        Error
+          (Printf.sprintf "line %d: expected `<symbol> <count> -- <reason>`"
+             line)
+
+let parse_string contents =
+  let lines = String.split_on_char '\n' contents in
+  let entries, errors, _ =
+    List.fold_left
+      (fun (acc, errs, n) l ->
+        match parse_line ~line:n l with
+        | Ok None -> (acc, errs, n + 1)
+        | Ok (Some e) -> (e :: acc, errs, n + 1)
+        | Error m -> (acc, m :: errs, n + 1))
+      ([], [], 1) lines
+  in
+  match errors with
+  | [] -> Ok { entries = List.rev entries }
+  | errs -> Error (String.concat "; " (List.rev errs))
+
+let load path =
+  match open_in path with
+  | ic ->
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      parse_string contents
+  | exception Sys_error m -> Error m
+
+let find t sym =
+  List.find_opt (fun e -> Syms.spec_matches ~spec:e.target sym) t.entries

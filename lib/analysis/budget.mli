@@ -1,0 +1,21 @@
+(** Per-symbol static allocation budgets for the hot-path rule (A9).
+
+    Line format: [<canonical-symbol> <count> -- <reason>], ['#']
+    comments.  [count] is the number of static allocation sites the
+    symbol may keep on a hot path (must be positive — a zero budget is
+    the default for every unlisted symbol).  Targets match exactly or
+    by ["Prefix.*"] spec.  Stale entries (no reachable allocation
+    left) and loose entries (count above the actual site count) are
+    flagged by the rules so the manifest only ever ratchets down. *)
+
+type entry = { target : string; count : int; reason : string; line : int }
+type t = { entries : entry list }
+
+val empty : t
+
+val v : entry list -> t
+(** In-memory manifest, for tests and the fixture corpus. *)
+
+val parse_string : string -> (t, string) result
+val load : string -> (t, string) result
+val find : t -> string -> entry option

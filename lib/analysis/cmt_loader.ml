@@ -87,7 +87,7 @@ module Cache = struct
 
   (* Bump the prefix whenever Unit_info.t changes shape; the compiler
      version guards the embedded Types values. *)
-  let version = "sbgp-astlint-cache-1:" ^ Sys.ocaml_version
+  let version = "sbgp-astlint-cache-2:" ^ Sys.ocaml_version
 
   let empty () = { entries = Hashtbl.create 64; live = Hashtbl.create 64 }
 

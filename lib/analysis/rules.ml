@@ -31,8 +31,24 @@
    A8 ast/workspace-epoch   an epoch-stamped Workspace value crossing a
                             parallel-closure boundary instead of being
                             fetched via Workspace.local () inside.
+   A9 ast/hot-alloc         a heap-allocation site (closure, boxed
+                            tuple/record/variant/float, list cons,
+                            array literal, allocating primitive,
+                            partial application) in a function
+                            reachable from a vetted kernel entry point,
+                            beyond the symbol's budget in the checked
+                            alloc_budget.txt manifest.
+   A10 ast/cache-pure       a function that publishes to or reads from
+                            the metric cache depends on something other
+                            than its (graph, deployment) arguments:
+                            module-level mutable state read, or a
+                            nondeterministic primitive, reachable in
+                            the call graph.
    --  ast/allowlist-stale  an allowlist entry that suppressed nothing
                             this run: the code it vetted has moved.
+   --  ast/alloc-budget-stale  an alloc_budget.txt entry whose symbol
+                            no longer has that many reachable
+                            allocation sites: ratchet it down.
 
    Every exemption must come from the checked-in allowlist file; the
    diagnostics embed "source:line:" so tests and editors can jump to
@@ -48,7 +64,10 @@ let rule_swallow = "ast/exn-swallow"
 let rule_escape = "ast/domain-escape"
 let rule_lock = "ast/lock-discipline"
 let rule_epoch = "ast/workspace-epoch"
+let rule_alloc = "ast/hot-alloc"
+let rule_pure = "ast/cache-pure"
 let rule_stale = "ast/allowlist-stale"
+let rule_budget_stale = "ast/alloc-budget-stale"
 let rule_missing = "ast/cmt-missing"
 let rule_unreadable = "ast/cmt-unreadable"
 let rule_allowlist = "ast/allowlist"
@@ -66,10 +85,20 @@ type config = {
   lock_brackets : string list;
       (* callees whose literal-lambda argument runs under a lock *)
   workspace_specs : string list;  (* A8: epoch-stamped workspace types *)
+  hot_entries : string list;
+      (* A9: vetted kernel entry points (symbol specs); every
+         allocation site call-graph-reachable from one is judged *)
+  cache_api : string list;
+      (* A10: the cache publish/read API; a symbol referencing one is
+         cache-coupled and must be pure in all but (graph, deployment) *)
+  cache_impl : string list;
+      (* A10: the cache implementation itself — its own state reads are
+         its job, so it neither couples nor propagates *)
+  budget : Budget.t;  (* A9 per-symbol static site budgets *)
   allow : Allowlist.t;
 }
 
-let default ?(allow = Allowlist.empty) () =
+let default ?(allow = Allowlist.empty) ?(budget = Budget.empty) () =
   {
     hot_scopes =
       [ "lib/routing"; "lib/metric"; "lib/parallel";
@@ -78,7 +107,7 @@ let default ?(allow = Allowlist.empty) () =
     unsafe_scopes = [ "lib"; "bin" ];
     kernel_modules =
       [ "Routing.Engine"; "Routing.Batch"; "Routing.Reach"; "Routing.Staged";
-        "Topology.Graph.Csr" ];
+        "Topology.Graph.Csr"; "Prelude.Bucket_queue" ];
     taint_roots =
       [ "Routing.Engine.compute"; "Routing.Reference.*";
         "Metric.H_metric.*"; "Check.Kernel.*" ];
@@ -92,6 +121,14 @@ let default ?(allow = Allowlist.empty) () =
     workspace_specs =
       [ "Routing.Engine.Workspace.t"; "Routing.Batch.Workspace.t";
         "Routing.Reference.Workspace.t" ];
+    hot_entries =
+      [ "Routing.Engine.compute"; "Routing.Batch.compute";
+        "Routing.Reach.compute"; "Routing.Staged.*"; "Topology.Graph.Csr.*" ];
+    cache_api =
+      [ "Metric.H_metric.Cache.find"; "Metric.H_metric.Cache.store";
+        "Metric.H_metric.Cache.carry" ];
+    cache_impl = [ "Metric.H_metric.Cache.*" ];
+    budget;
     allow;
   }
 
@@ -365,12 +402,13 @@ let is_write (s : Unit_info.sort) =
     ->
       true
   | Unit_info.Container_op { write; _ } -> write
-  | Unit_info.Field_read _ -> false
+  | Unit_info.Field_read _ | Unit_info.Ref_read _ -> false
 
 let access_desc (a : Unit_info.access) =
   let sortd =
     match a.Unit_info.sort with
     | Unit_info.Ref_write op -> Printf.sprintf "ref write (`%s`)" op
+    | Unit_info.Ref_read op -> Printf.sprintf "ref read (`%s`)" op
     | Unit_info.Field_write { rectype; field } ->
         Printf.sprintf "write to mutable field %s.%s" rectype field
     | Unit_info.Field_read { rectype; field } ->
@@ -661,6 +699,267 @@ let epoch_findings ctx (u : Unit_info.t) =
           | _ -> None)
       u.captures
 
+(* --- A9 ------------------------------------------------------------- *)
+
+(* Every allocation site in a function call-graph-reachable from a hot
+   entry point counts against that function's budget (default 0; the
+   checked-in manifest grants positive budgets with reasons).  One
+   finding per over-budget symbol, anchored at its first site, so a
+   kernel that sprouts ten closures reads as one diagnosis, not ten.
+   The manifest is kept honest by [budget_stale_findings] below. *)
+let describe_sites sites =
+  let max_shown = 4 in
+  let shown = List.filteri (fun i _ -> i < max_shown) sites in
+  let rest = List.length sites - List.length shown in
+  String.concat ", "
+    (List.map
+       (fun (a : Unit_info.alloc) ->
+         Printf.sprintf "%s (line %d)"
+           (Unit_info.describe_alloc a.a_kind)
+           a.al_line)
+       shown)
+  ^ if rest > 0 then Printf.sprintf " and %d more" rest else ""
+
+let alloc_findings ctx graph units =
+  let by_encl = Hashtbl.create 128 in
+  List.iter
+    (fun (u : Unit_info.t) ->
+      List.iter
+        (fun (a : Unit_info.alloc) ->
+          let cur =
+            match Hashtbl.find_opt by_encl a.al_encl with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace by_encl a.al_encl ((u.source, a) :: cur))
+        u.allocs)
+    units;
+  let reach =
+    Callgraph.reachable graph ~roots:ctx.cfg.hot_entries
+      ~cut:(allowed ctx ~rule:rule_alloc)
+  in
+  (* Actual reachable-site count per manifest entry, for the ratchet. *)
+  let entry_actual : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let findings =
+    List.filter_map
+      (fun sym ->
+        match Hashtbl.find_opt by_encl sym with
+        | None -> None
+        | Some rev_sites ->
+            let sites = List.rev_map snd rev_sites in
+            let source =
+              match rev_sites with (s, _) :: _ -> s | [] -> "<unknown>"
+            in
+            let n = List.length sites in
+            let granted =
+              match Budget.find ctx.cfg.budget sym with
+              | Some e ->
+                  Hashtbl.replace entry_actual e.Budget.target
+                    ((match Hashtbl.find_opt entry_actual e.Budget.target with
+                     | Some c -> c
+                     | None -> 0)
+                    + n);
+                  e.Budget.count
+              | None -> 0
+            in
+            if n <= granted then None
+            else
+              let first =
+                List.fold_left
+                  (fun m (a : Unit_info.alloc) -> min m a.al_line)
+                  max_int sites
+              in
+              Some
+                {
+                  source;
+                  line = first;
+                  rule = rule_alloc;
+                  symbol = sym;
+                  text =
+                    Printf.sprintf
+                      "%d hot-path allocation site(s) in %s (budget %d), \
+                       reachable via %s: %s; hoist/unbox them or budget \
+                       them in alloc_budget.txt"
+                      n sym granted
+                      (String.concat " -> " (Callgraph.chain reach sym))
+                      (describe_sites sites);
+                })
+      reach.Callgraph.order
+  in
+  (findings, entry_actual)
+
+let budget_stale_findings ctx ~budget_source entry_actual =
+  List.filter_map
+    (fun (e : Budget.entry) ->
+      match Hashtbl.find_opt entry_actual e.target with
+      | None | Some 0 ->
+          Some
+            {
+              source = budget_source;
+              line = e.line;
+              rule = rule_budget_stale;
+              symbol = e.target;
+              text =
+                Printf.sprintf
+                  "budget entry `%s %d` matched no reachable allocation \
+                   site this run — the code it paid for has moved; remove \
+                   it (reason was: %s)"
+                  e.target e.count e.reason;
+            }
+      | Some actual when actual < e.count ->
+          Some
+            {
+              source = budget_source;
+              line = e.line;
+              rule = rule_budget_stale;
+              symbol = e.target;
+              text =
+                Printf.sprintf
+                  "budget entry `%s %d` is loose: only %d reachable \
+                   site(s) remain — ratchet it down to %d (reason was: %s)"
+                  e.target e.count actual actual e.reason;
+            }
+      | Some _ -> None)
+    ctx.cfg.budget.Budget.entries
+
+(* --- A10 ------------------------------------------------------------ *)
+
+(* A symbol that publishes to or reads from the metric cache must be a
+   pure function of its (graph, deployment) arguments — anything else
+   it depends on silently changes what a cache hit returns.  Two taint
+   sources, both judged over the call graph from every cache-coupled
+   symbol: nondeterministic primitives (same vocabulary as A2, but
+   including the vetted RNG — randomness in a cached value is wrong
+   even when seeded), and reads of module-level mutable state.  The
+   cache implementation itself is excluded: its state is the cache. *)
+let pure_findings ctx graph units =
+  let matches specs sym =
+    List.exists (fun spec -> Syms.spec_matches ~spec sym) specs
+  in
+  let coupled = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Unit_info.t) ->
+      List.iter
+        (fun (e : Unit_info.edge) ->
+          if
+            matches ctx.cfg.cache_api e.target
+            && (not (matches ctx.cfg.cache_impl e.from_))
+            && not (Hashtbl.mem coupled e.from_)
+          then Hashtbl.replace coupled e.from_ ())
+        u.edges)
+    units;
+  let roots =
+    Hashtbl.fold (fun k () acc -> k :: acc) coupled []
+    |> List.sort String.compare
+  in
+  if roots = [] then []
+  else begin
+    let cut sym =
+      allowed ctx ~rule:rule_pure sym
+      || matches ctx.cfg.cache_api sym
+      || matches ctx.cfg.cache_impl sym
+    in
+    let reach = Callgraph.reachable graph ~roots ~cut in
+    let hashtbl_mods =
+      List.concat_map (fun u -> u.Unit_info.hashtbl_mods) units
+    in
+    let seen = Hashtbl.create 16 in
+    let nondet =
+      List.concat_map
+        (fun sym ->
+          List.filter_map
+            (fun (target, line) ->
+              if
+                Unit_info.is_nondet ~hashtbl_mods target
+                && not (Hashtbl.mem seen (sym, target))
+              then begin
+                Hashtbl.replace seen (sym, target) ();
+                let source =
+                  match Callgraph.source_of graph sym with
+                  | Some s -> s
+                  | None -> "<unknown>"
+                in
+                Some
+                  {
+                    source;
+                    line;
+                    rule = rule_pure;
+                    symbol = sym;
+                    text =
+                      Printf.sprintf
+                        "cache-coupled function reaches nondeterministic \
+                         %s via %s; a cached metric must be a pure \
+                         function of (graph, deployment)"
+                        (strip_stdlib target)
+                        (String.concat " -> " (Callgraph.chain reach sym));
+                  }
+              end
+              else None)
+            (Callgraph.successors graph sym))
+        reach.Callgraph.order
+    in
+    let by_encl = Hashtbl.create 128 in
+    List.iter
+      (fun (u : Unit_info.t) ->
+        List.iter
+          (fun (a : Unit_info.access) ->
+            let cur =
+              match Hashtbl.find_opt by_encl a.a_encl with
+              | Some l -> l
+              | None -> []
+            in
+            Hashtbl.replace by_encl a.a_encl ((u.source, a) :: cur))
+          u.accesses)
+      units;
+    let seen_read = Hashtbl.create 16 in
+    let reads =
+      List.concat_map
+        (fun sym ->
+          let accs =
+            match Hashtbl.find_opt by_encl sym with
+            | Some l -> List.rev l
+            | None -> []
+          in
+          List.filter_map
+            (fun (source, (a : Unit_info.access)) ->
+              let is_read =
+                match a.sort with
+                | Unit_info.Ref_read _ | Unit_info.Field_read _ -> true
+                | Unit_info.Container_op { write = false; _ } -> true
+                | _ -> false
+              in
+              let global_state =
+                match a.subject with
+                | Unit_info.Global _ | Unit_info.Local 0 -> true
+                | _ -> false
+              in
+              if
+                is_read && global_state
+                && not (Hashtbl.mem seen_read (sym, a.a_line))
+              then begin
+                Hashtbl.replace seen_read (sym, a.a_line) ();
+                Some
+                  {
+                    source;
+                    line = a.a_line;
+                    rule = rule_pure;
+                    symbol = sym;
+                    text =
+                      Printf.sprintf
+                        "%s in cache-coupled function (via %s); cached \
+                         results must not depend on module-level mutable \
+                         state"
+                        (access_desc a)
+                        (String.concat " -> " (Callgraph.chain reach sym));
+                  }
+              end
+              else None)
+            accs)
+        reach.Callgraph.order
+    in
+    nondet @ reads
+  end
+
 (* --- stale allowlist entries ---------------------------------------- *)
 
 let stale_findings ctx ~allow_source =
@@ -698,10 +997,11 @@ let compare_finding a b =
 let to_diag f =
   D.error ~rule:f.rule (Printf.sprintf "%s:%d: %s" f.source f.line f.text)
 
-let apply ?(allow_source = "tools/astlint/allowlist.txt") cfg reg graph units
-    =
+let apply ?(allow_source = "tools/astlint/allowlist.txt")
+    ?(budget_source = "tools/astlint/alloc_budget.txt") cfg reg graph units =
   let ctx = { cfg; used = Hashtbl.create 16 } in
   let lockreg = Lockreg.build units in
+  let allocs, entry_actual = alloc_findings ctx graph units in
   let findings =
     List.concat_map (poly_findings ctx reg) units
     @ taint_findings ctx graph units
@@ -711,6 +1011,9 @@ let apply ?(allow_source = "tools/astlint/allowlist.txt") cfg reg graph units
     @ escape_reach ctx graph units
     @ List.concat_map (lock_findings ctx lockreg) units
     @ List.concat_map (epoch_findings ctx) units
+    @ allocs
+    @ pure_findings ctx graph units
+    @ budget_stale_findings ctx ~budget_source entry_actual
   in
   (* Stale detection must run after every other rule so the used-entry
      table is complete. *)

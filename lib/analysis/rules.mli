@@ -20,8 +20,16 @@
       held; raising while holding a lock; lock with no unlock.
     - A8 [ast/workspace-epoch]: epoch-stamped [Workspace] values
       crossing a parallel-closure boundary.
+    - A9 [ast/hot-alloc]: heap-allocation sites in functions reachable
+      from the vetted kernel entry points, beyond the per-symbol
+      budgets of the checked-in [alloc_budget.txt] manifest.
+    - A10 [ast/cache-pure]: cache-coupled functions (publishing to or
+      reading from the metric cache) that reach a nondeterministic
+      primitive or read module-level mutable state.
     - [ast/allowlist-stale]: allowlist entries that suppressed nothing
-      this run. *)
+      this run.
+    - [ast/alloc-budget-stale]: budget entries with no (or fewer)
+      remaining reachable sites — the manifest only ratchets down. *)
 
 val rule_poly : string
 val rule_taint : string
@@ -31,7 +39,10 @@ val rule_swallow : string
 val rule_escape : string
 val rule_lock : string
 val rule_epoch : string
+val rule_alloc : string
+val rule_pure : string
 val rule_stale : string
+val rule_budget_stale : string
 val rule_missing : string
 val rule_unreadable : string
 val rule_allowlist : string
@@ -47,10 +58,14 @@ type config = {
   par_entries : string list;
   lock_brackets : string list;
   workspace_specs : string list;
+  hot_entries : string list;  (** A9 kernel entry-point specs *)
+  cache_api : string list;  (** A10 cache publish/read API specs *)
+  cache_impl : string list;  (** A10 cache implementation scope *)
+  budget : Budget.t;
   allow : Allowlist.t;
 }
 
-val default : ?allow:Allowlist.t -> unit -> config
+val default : ?allow:Allowlist.t -> ?budget:Budget.t -> unit -> config
 
 type finding = {
   source : string;
@@ -65,6 +80,7 @@ val to_diag : finding -> Check.Diagnostic.t
 
 val apply :
   ?allow_source:string ->
+  ?budget_source:string ->
   config ->
   Typereg.t ->
   Callgraph.t ->
@@ -72,4 +88,6 @@ val apply :
   finding list
 (** Findings sorted by (source, line, rule).  [allow_source] is the
     path reported for [ast/allowlist-stale] findings (default
-    ["tools/astlint/allowlist.txt"]). *)
+    ["tools/astlint/allowlist.txt"]); [budget_source] likewise for
+    [ast/alloc-budget-stale] (default
+    ["tools/astlint/alloc_budget.txt"]). *)

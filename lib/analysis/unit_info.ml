@@ -65,6 +65,7 @@ type subject =
 
 type sort =
   | Ref_write of string
+  | Ref_read of string
   | Field_write of { rectype : string; field : string }
   | Field_read of { rectype : string; field : string }
   | Array_write of { idx_depth : int }
@@ -99,6 +100,16 @@ type capture = {
   c_line : int;
 }
 
+type alloc_kind =
+  | Closure of { captures : string list }
+  | Box of { what : string; floats : bool }
+  | Arr_lit
+  | List_lit
+  | Alloc_call of string
+  | Partial_app of string
+
+type alloc = { a_kind : alloc_kind; al_encl : string; al_line : int }
+
 type t = {
   modname : string;
   source : string;
@@ -110,6 +121,7 @@ type t = {
   accesses : access list;
   locks : lock_occ list;
   captures : capture list;
+  allocs : alloc list;
 }
 
 (* --- identifier tables (Stdlib facts, not policy) ------------------- *)
@@ -162,6 +174,51 @@ let raiser_idents =
 
 let ref_write_ops =
   [ ("Stdlib.:=", ":="); ("Stdlib.incr", "incr"); ("Stdlib.decr", "decr") ]
+
+(* Dereference: recorded as a read access so the cache-purity rule can
+   see module-level mutable state flowing into cached results. *)
+let ref_read_op = "Stdlib.!"
+
+(* Float arithmetic whose boxed result escapes unless the consumer is
+   itself float arithmetic; only the root of a float expression tree is
+   recorded (the walk tracks the context). *)
+let float_arith_ops =
+  [
+    "Stdlib.+."; "Stdlib.-."; "Stdlib.*."; "Stdlib./."; "Stdlib.~-.";
+    "Stdlib.**"; "Stdlib.sqrt"; "Stdlib.exp"; "Stdlib.log";
+    "Stdlib.float_of_int"; "Stdlib.Float.of_int";
+  ]
+
+(* Known allocating calls: fresh blocks, container growth, formatting.
+   [Buffer.add_*]/[Bytes.extend] cover the growth side of the A9
+   catalogue; construction expressions (tuples, records, variants,
+   literals, closures) are recorded structurally by the walk. *)
+let alloc_idents =
+  [
+    "Stdlib.ref"; "Stdlib.^"; "Stdlib.@";
+    "Stdlib.Array.make"; "Stdlib.Array.init"; "Stdlib.Array.copy";
+    "Stdlib.Array.append"; "Stdlib.Array.sub"; "Stdlib.Array.of_list";
+    "Stdlib.Array.to_list"; "Stdlib.Array.make_matrix"; "Stdlib.Array.map";
+    "Stdlib.Array.mapi"; "Stdlib.Array.map2";
+    "Stdlib.List.map"; "Stdlib.List.mapi"; "Stdlib.List.map2";
+    "Stdlib.List.rev_map"; "Stdlib.List.filter"; "Stdlib.List.filter_map";
+    "Stdlib.List.init"; "Stdlib.List.rev"; "Stdlib.List.append";
+    "Stdlib.List.concat"; "Stdlib.List.concat_map"; "Stdlib.List.sort";
+    "Stdlib.List.stable_sort"; "Stdlib.List.sort_uniq";
+    "Stdlib.Bytes.create"; "Stdlib.Bytes.make"; "Stdlib.Bytes.init";
+    "Stdlib.Bytes.copy"; "Stdlib.Bytes.sub"; "Stdlib.Bytes.extend";
+    "Stdlib.Bytes.cat"; "Stdlib.Bytes.of_string"; "Stdlib.Bytes.to_string";
+    "Stdlib.Buffer.create"; "Stdlib.Buffer.add_char";
+    "Stdlib.Buffer.add_string"; "Stdlib.Buffer.add_bytes";
+    "Stdlib.Buffer.add_substring"; "Stdlib.Buffer.add_buffer";
+    "Stdlib.Buffer.contents"; "Stdlib.Buffer.to_bytes";
+    "Stdlib.String.make"; "Stdlib.String.init"; "Stdlib.String.sub";
+    "Stdlib.String.concat"; "Stdlib.String.cat";
+    "Stdlib.String.split_on_char";
+    "Stdlib.Printf.sprintf"; "Stdlib.Format.asprintf";
+    "Stdlib.Hashtbl.create"; "Stdlib.Hashtbl.copy";
+    "Stdlib.Queue.create"; "Stdlib.Stack.create";
+  ]
 
 (* (name, subject position, index position) — the disjoint-index
    exemption only makes sense for single-cell writes. *)
@@ -223,6 +280,20 @@ let split_last name =
   | Some i ->
       ( String.sub name 0 i,
         String.sub name (i + 1) (String.length name - i - 1) )
+
+let describe_alloc = function
+  | Closure { captures = [] } -> "closure"
+  | Closure { captures } ->
+      Printf.sprintf "closure capturing %s" (String.concat ", " captures)
+  | Box { what = "float"; _ } -> "boxed float"
+  | Box { what; floats = true } ->
+      Printf.sprintf "boxed %s (float components)" what
+  | Box { what; _ } -> Printf.sprintf "boxed %s" what
+  | Arr_lit -> "array literal"
+  | List_lit -> "list cons"
+  | Alloc_call name -> Printf.sprintf "%s call" (snd (split_last name))
+  | Partial_app name ->
+      Printf.sprintf "partial application of %s" (snd (split_last name))
 
 let is_nondet ~hashtbl_mods name =
   starts_with ~prefix:"Stdlib.Random." name
@@ -352,6 +423,7 @@ let walk ~modname ~source str =
   let accesses = ref [] in
   let locks = ref [] in
   let captures = ref [] in
+  let allocs = ref [] in
   let local_modules : (string, string) Hashtbl.t = Hashtbl.create 16 in
   let stack = ref [] in
   let prefix () = String.concat "." (modname :: List.rev !stack) in
@@ -363,6 +435,10 @@ let walk ~modname ~source str =
   let binder : (string, int) Hashtbl.t = Hashtbl.create 256 in
   let held = ref ([] : (string * int) list) in
   let protected = ref ([] : string list) in
+  (* True while walking the arguments of a float-arithmetic operator:
+     nested float ops feed their result unboxed into the parent, so only
+     the root of a float expression tree records a box. *)
+  let float_ctx = ref false in
   let add_def sym =
     if not (Hashtbl.mem defs_tbl sym) then begin
       Hashtbl.replace defs_tbl sym ();
@@ -410,6 +486,43 @@ let walk ~modname ~source str =
   in
   let add_lock ev loc =
     locks := { ev; l_encl = !cur; l_line = line loc } :: !locks
+  in
+  (* True while walking the arguments of a raiser: allocation there is
+     the error path, cold by definition. *)
+  let cold_ctx = ref false in
+  (* Depth-0 sites run once at module init (or are static constants) —
+     never hot, so only allocations under at least one lambda count. *)
+  let add_alloc a_kind loc =
+    if depth () > 0 && not !cold_ctx then
+      allocs := { a_kind; al_encl = !cur; al_line = line loc } :: !allocs
+  in
+  (* Constant construction trees (notably format-string literals, which
+     desugar to CamlinternalFormatBasics constructor applications) are
+     statically allocated by the compiler — no runtime cost.  Array
+     literals are excluded: arrays are mutable, so every evaluation
+     allocates afresh. *)
+  let rec is_static_const (e : expression) =
+    match e.exp_desc with
+    | Texp_constant _ -> true
+    | Texp_construct (_, _, args) -> List.for_all is_static_const args
+    | Texp_tuple es -> List.for_all is_static_const es
+    | Texp_variant (_, eo) -> (
+        match eo with None -> true | Some x -> is_static_const x)
+    | _ -> false
+  in
+  let is_float_ty ty =
+    match Types.get_desc ty with
+    | Types.Tconstr (p, _, _) -> Path.same p Predef.path_float
+    | _ -> false
+  in
+  let is_arrow_ty ty =
+    match Types.get_desc ty with Types.Tarrow _ -> true | _ -> false
+  in
+  (* The typechecker names the sugar parameter of [?(a = d)] "*opt*". *)
+  let is_opt_pat (p : pattern) =
+    match p.pat_desc with
+    | Tpat_var (_, name) -> starts_with ~prefix:"*opt*" name.txt
+    | _ -> false
   in
   let register_binders d ids =
     List.iter
@@ -543,6 +656,41 @@ let walk ~modname ~source str =
             :: !captures
       | _ -> ()
   in
+  (* Function-local values a literal lambda closes over: idents whose
+     binder depth lies in [1, depth()] at the lambda's introduction.
+     Binders introduced inside the lambda are not yet registered (the
+     scan runs before the body walk), so they never count; depth-0
+     binders are toplevel values, statically addressed. *)
+  let captured_locals cases =
+    let d0 = depth () in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    let it =
+      {
+        Tast_iterator.default_iterator with
+        expr =
+          (fun sub e ->
+            (match e.exp_desc with
+            | Texp_ident (Path.Pident id, _, _) -> (
+                match Hashtbl.find_opt binder (Ident.unique_name id) with
+                | Some d when d >= 1 && d <= d0 ->
+                    let n = Ident.name id in
+                    if not (Hashtbl.mem seen n) then begin
+                      Hashtbl.replace seen n ();
+                      acc := n :: !acc
+                    end
+                | _ -> ())
+            | _ -> ());
+            Tast_iterator.default_iterator.expr sub e);
+      }
+    in
+    List.iter
+      (fun (c : value case) ->
+        Option.iter (it.expr it) c.c_guard;
+        it.expr it c.c_rhs)
+      cases;
+    List.rev !acc
+  in
   (* Classify one resolved global identifier; [subject] only matters for
      polymorphic comparisons. *)
   let global_ident name ~subject loc =
@@ -632,7 +780,7 @@ let walk ~modname ~source str =
         in
         global_ident (canon p) ~subject f.exp_loc;
         List.iter (fun (_, a) -> Option.iter (sub.Tast_iterator.expr sub) a) args
-    | Texp_apply (f, args) -> apply sub e.exp_loc f args
+    | Texp_apply (f, args) -> apply sub e.exp_loc ~ret:e.exp_type f args
     | Texp_function { param; cases; _ } ->
         walk_lambda sub ~head:None ~param cases
     | Texp_setfield (b, _, ld, v) ->
@@ -646,10 +794,23 @@ let walk ~modname ~source str =
           (Field_read { rectype = rectype_of ld; field = ld.lbl_name })
           (subject_of b) e.exp_loc;
         sub.Tast_iterator.expr sub b
-    | Texp_let (_, vbs, body) ->
+    | Texp_let (rec_flag, vbs, body) ->
         let d = depth () in
         List.iter (fun vb -> register_binders d (pat_vars vb.vb_pat)) vbs;
-        List.iter (fun vb -> sub.Tast_iterator.expr sub vb.vb_expr) vbs;
+        List.iter
+          (fun vb ->
+            (* A recursive function's reference to itself is the closure
+               block, not a capture: mask its own binders to depth 0
+               while walking its own right-hand side (mutually recursive
+               siblings stay registered — those do capture). *)
+            let own =
+              if rec_flag = Asttypes.Recursive then pat_vars vb.vb_pat
+              else []
+            in
+            register_binders 0 own;
+            sub.Tast_iterator.expr sub vb.vb_expr;
+            register_binders d own)
+          vbs;
         sub.Tast_iterator.expr sub body
     | Texp_ifthenelse (c, t, eo) ->
         sub.Tast_iterator.expr sub c;
@@ -710,6 +871,45 @@ let walk ~modname ~source str =
         | Some n -> ignore (register_module n mexpr)
         | None -> ());
         Tast_iterator.default_iterator.expr sub e
+    | Texp_tuple es ->
+        if not (is_static_const e) then
+          add_alloc
+            (Box
+               {
+                 what = "tuple";
+                 floats =
+                   List.exists
+                     (fun (x : expression) -> is_float_ty x.exp_type)
+                     es;
+               })
+            e.exp_loc;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_construct (_, cd, (_ :: _ as cargs)) ->
+        (if not (is_static_const e) then
+           if cd.Types.cstr_name = "::" then add_alloc List_lit e.exp_loc
+           else
+             add_alloc
+               (Box
+                  {
+                    what = cd.Types.cstr_name;
+                    floats =
+                      List.exists
+                        (fun (x : expression) -> is_float_ty x.exp_type)
+                        cargs;
+                  })
+               e.exp_loc);
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_record _ ->
+        add_alloc (Box { what = "record"; floats = false }) e.exp_loc;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_variant (_, Some _) ->
+        if not (is_static_const e) then
+          add_alloc (Box { what = "polymorphic variant"; floats = false })
+            e.exp_loc;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_array (_ :: _) ->
+        add_alloc Arr_lit e.exp_loc;
+        Tast_iterator.default_iterator.expr sub e
     | _ -> Tast_iterator.default_iterator.expr sub e
   and walk_arg sub ~head (a : expression) =
     match a.exp_desc with
@@ -717,22 +917,69 @@ let walk ~modname ~source str =
     | _ -> sub.Tast_iterator.expr sub a
   and walk_args sub ~head args =
     List.iter (fun (_, a) -> Option.iter (walk_arg sub ~head) a) args
-  and walk_lambda sub ~head ~param cases =
+  and walk_lambda ?(chained = false) sub ~head ~param cases =
+    (* One closure fact per syntactic [fun]-chain: a curried
+       [fun a b -> ...] compiles to a single closure, so inner links
+       walk with [~chained:true] and record nothing.  Depth-0 lambdas
+       are toplevel functions — statically allocated, never a fact —
+       and a lambda that closes over no function-local value is a
+       constant closure, lifted to static data by closure conversion,
+       so only capturing closures are recorded. *)
+    (if (not chained) && depth () > 0 then
+       match cases with
+       | c :: _ -> (
+           match captured_locals cases with
+           | [] -> ()
+           | captures ->
+               add_alloc (Closure { captures }) c.c_lhs.pat_loc)
+       | [] -> ());
     lam_stack := head :: !lam_stack;
     let saved = !held in
+    let saved_float = !float_ctx in
+    float_ctx := false;
     let d = depth () in
     register_binders d [ param ];
     List.iter
       (fun (c : value case) ->
         register_binders d (pat_vars c.c_lhs);
         Option.iter (sub.Tast_iterator.expr sub) c.c_guard;
-        sub.Tast_iterator.expr sub c.c_rhs)
+        match (cases, c.c_rhs.exp_desc) with
+        | [ _ ], Texp_function { param = p2; cases = c2; _ } ->
+            walk_lambda ~chained:true sub ~head:None ~param:p2 c2
+        | ( [ _ ],
+            Texp_let
+              ( _,
+                vbs,
+                { exp_desc = Texp_function { param = p2; cases = c2; _ }; _ }
+              ) )
+          when is_opt_pat c.c_lhs ->
+            (* Optional-argument defaulting: the typechecker inserts
+               [let a = match *opt* with ... in] between curried links.
+               The compiler still builds one n-ary function for the
+               whole chain, so the inner link is not a fresh closure. *)
+            List.iter
+              (fun vb -> register_binders d (pat_vars vb.vb_pat))
+              vbs;
+            List.iter (fun vb -> sub.Tast_iterator.expr sub vb.vb_expr) vbs;
+            walk_lambda ~chained:true sub ~head:None ~param:p2 c2
+        | _ -> sub.Tast_iterator.expr sub c.c_rhs)
       cases;
+    float_ctx := saved_float;
     held := saved;
     lam_stack := List.tl !lam_stack
-  and apply sub loc f args =
+  and apply sub loc ~ret f args =
     let head = head_of f in
     match head with
+    | Some name when List.mem name float_arith_ops ->
+        sub.Tast_iterator.expr sub f;
+        (* Only the root of a float expression tree boxes its result;
+           nested float ops feed the parent in a register. *)
+        if not !float_ctx then
+          add_alloc (Box { what = "float"; floats = true }) loc;
+        let saved = !float_ctx in
+        float_ctx := true;
+        walk_args sub ~head args;
+        float_ctx := saved
     | Some "Stdlib.Mutex.lock" ->
         sub.Tast_iterator.expr sub f;
         walk_args sub ~head args;
@@ -791,7 +1038,13 @@ let walk ~modname ~source str =
         List.iter remove_held releases
     | Some name when List.mem name raiser_idents ->
         sub.Tast_iterator.expr sub f;
+        (* Arguments of a raiser are the error path: the exception
+           payload (typically a [sprintf]) allocates only on failure,
+           never in the steady state, so A9 ignores it. *)
+        let saved_cold = !cold_ctx in
+        cold_ctx := true;
         walk_args sub ~head args;
+        cold_ctx := saved_cold;
         (match leaked_locks () with
         | [] -> ()
         | leaked ->
@@ -804,9 +1057,23 @@ let walk ~modname ~source str =
               loc)
     | _ ->
         sub.Tast_iterator.expr sub f;
+        let saved_float = !float_ctx in
+        float_ctx := false;
         walk_args sub ~head args;
+        float_ctx := saved_float;
         Option.iter
           (fun name ->
+            if name = ref_read_op then
+              Option.iter
+                (fun a -> add_access (Ref_read "!") (subject_of a) loc)
+                (nth_pos args 0);
+            if List.mem name alloc_idents then add_alloc (Alloc_call name) loc;
+            (* An application whose result is still an arrow, or with an
+               omitted argument, builds a closure over the supplied
+               prefix. *)
+            if
+              is_arrow_ty ret || List.exists (fun (_, a) -> a = None) args
+            then add_alloc (Partial_app name) loc;
             match classify_mut ~hashtbl_mods:!hashtbl_mods name with
             | None -> ()
             | Some (Mut_ref op) ->
@@ -903,4 +1170,5 @@ let walk ~modname ~source str =
     accesses = List.rev !accesses;
     locks = List.rev !locks;
     captures = List.rev !captures;
+    allocs = List.rev !allocs;
   }

@@ -50,6 +50,10 @@ type subject =
 
 type sort =
   | Ref_write of string  (** [":="], ["incr"], ["decr"] *)
+  | Ref_read of string
+      (** a [!] dereference — recorded so the cache-purity rule (A10)
+          can see module-level mutable state flowing into cached
+          results *)
   | Field_write of { rectype : string; field : string }
   | Field_read of { rectype : string; field : string }
       (** reads are only recorded for [mutable] fields *)
@@ -85,6 +89,32 @@ type lock_event =
 
 type lock_occ = { ev : lock_event; l_encl : string; l_line : int }
 
+(** One heap-allocation fact for the hot-path rule (A9).  Sites at
+    lambda depth 0 (module init, static constants) are never recorded;
+    a curried [fun a b -> ...] records one {!Closure}. *)
+type alloc_kind =
+  | Closure of { captures : string list }
+      (** source names of enclosing-function locals the closure body
+          references (toplevel values excluded — statically addressed) *)
+  | Box of { what : string; floats : bool }
+      (** a boxed construction: ["tuple"], ["record"],
+          ["polymorphic variant"], a constructor name ("Some", ...) or
+          ["float"] for the root of a float-arithmetic tree; [floats]
+          when a float participates *)
+  | Arr_lit  (** non-empty [\[| ... |\]] literal *)
+  | List_lit  (** a [::] cons cell *)
+  | Alloc_call of string
+      (** canonical name of a known allocating primitive
+          ([Array.make], [Buffer.add_*], [Printf.sprintf], ...) *)
+  | Partial_app of string
+      (** application returning an arrow (or with an omitted optional
+          argument): builds a closure over the supplied prefix *)
+
+type alloc = { a_kind : alloc_kind; al_encl : string; al_line : int }
+
+val describe_alloc : alloc_kind -> string
+(** Human-readable site description for findings and reports. *)
+
 type capture = {
   name : string;  (** source name of the referenced value *)
   tyhead : string;  (** canonical type head, e.g.
@@ -108,6 +138,8 @@ type t = {
   locks : lock_occ list;
   captures : capture list;
       (** workspace-typed idents referenced under at least one lambda *)
+  allocs : alloc list;
+      (** heap-allocation sites under at least one lambda, for A9 *)
 }
 
 val split_last : string -> string * string

@@ -6,6 +6,7 @@ module Determinism = Determinism
 module Incremental = Incremental
 module Optimize = Opt_check
 module Topo = Topo_check
+module Alloc = Alloc_check
 module Mutants = Mutants
 module D = Diagnostic
 module G = Topology.Graph
@@ -234,3 +235,14 @@ let run_optimize ?(options = default_options) ?pool g =
 let run_topology ?(options = default_options) g =
   let items, diags = topology_pass options g in
   D.add_pass D.empty_report "topology" ~items diags
+
+(* Not part of {!run}'s pass sequence: the allocation gate wants a
+   quiet single-domain process (Gc counters are per-domain and the
+   measured loops must not share minor heaps with pool workers), so it
+   runs standalone behind `sbgp check --alloc` and tools/ci.sh. *)
+let run_alloc ?(options = default_options) g =
+  let items, diags =
+    Alloc_check.analyze ~pairs:(max 4 options.pairs)
+      ~seed:(options.seed + 7) g options.policies
+  in
+  D.add_pass D.empty_report "alloc" ~items diags

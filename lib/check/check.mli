@@ -27,7 +27,12 @@
       adjacency-table view, binary snapshots must round-trip
       bit-identically (and reject corruption), and topology-delta
       replay through {!Metric.H_metric.Replay} must match from-scratch
-      computation at every step of a seeded delta chain.
+      computation at every step of a seeded delta chain;
+    + {b alloc} ({!Alloc}, standalone only) — minor-heap allocation per
+      pair of the scalar/batched/reference kernels measured against
+      recorded budgets, identity-gated, plus a cold-vs-warm probe of
+      the shared metric cache (the runtime complement of the static
+      ast/hot-alloc and ast/cache-pure rules).
 
     All diagnostics are structured ({!Diagnostic}): rule id, severity,
     offending ASes, message — the checker reports everything it finds
@@ -43,6 +48,7 @@ module Determinism = Determinism
 module Incremental = Incremental
 module Optimize = Opt_check
 module Topo = Topo_check
+module Alloc = Alloc_check
 module Mutants = Mutants
 
 type options = {
@@ -101,3 +107,9 @@ val run_topology : ?options:options -> Topology.Graph.t -> Diagnostic.report
 (** Only the topology pass ([sbgp check --topology]): CSR-vs-tables
     identity, snapshot round-trip and corruption rejection, and
     delta-replay-vs-scratch bit-identity (uses [inc_pairs] pairs). *)
+
+val run_alloc : ?options:options -> Topology.Graph.t -> Diagnostic.report
+(** Only the allocation gate ([sbgp check --alloc]).  Deliberately not
+    part of {!run}: the Gc counters are per-domain, so the measured
+    loops want a process that has not shared its minor heap with pool
+    workers.  Budgets come from {!Alloc.budgets} (env-overridable). *)

@@ -130,6 +130,17 @@ let catalogue =
        Max-k instance" );
     ( "check/false-negative",
       "a mutant with a planted bug was not flagged by the checker" );
+    ( "alloc/minor-budget",
+      "a kernel's measured minor words per pair exceeded its recorded \
+       budget (a hot-path box, closure or container growth slipped \
+       past the static A9 gate)" );
+    ( "alloc/identity",
+      "the outcome computed inside a measured allocation loop differs \
+       from a fresh-buffer computation of the same pair" );
+    ( "alloc/cache-consistency",
+      "H over the same pair set changed between a cold run and a \
+       cache-served rerun; cached metric values must be pure in \
+       (graph, deployment)" );
     ( "ast/poly-compare",
       "polymorphic compare/equal/hash (including aliases and the \
        List.mem/assoc family) on a non-immediate type in a hot-path \
@@ -158,9 +169,21 @@ let catalogue =
     ( "ast/workspace-epoch",
       "an epoch-stamped Workspace value crossing a parallel-closure \
        boundary instead of Workspace.local () inside the closure" );
+    ( "ast/hot-alloc",
+      "allocation sites reachable from a vetted kernel entry point \
+       exceed the symbol's recorded budget \
+       (tools/astlint/alloc_budget.txt)" );
+    ( "ast/cache-pure",
+      "a function coupled to the metric cache reads module-level \
+       mutable state or a nondeterministic primitive; cached values \
+       must depend only on (graph, deployment)" );
     ( "ast/allowlist-stale",
       "an allowlist entry that suppressed no finding this run; the \
        code it vetted has moved — remove or update the entry" );
+    ( "ast/alloc-budget-stale",
+      "an allocation-budget entry whose symbol now allocates nothing \
+       (stale) or less than its grant (loose) — ratchet the manifest \
+       down" );
     ("ast/cmt-missing", "no .cmt artifacts found; run `dune build @check`");
     ( "ast/cmt-unreadable",
       "a .cmt artifact exists but cannot be read (corrupt or \

@@ -16,6 +16,18 @@
     Any field-level disagreement is a ["kernel/divergence"] error naming
     the first AS and field that differ. *)
 
+val mismatch :
+  ?parents:bool ->
+  want:Routing.Outcome.t ->
+  got:Routing.Outcome.t ->
+  unit ->
+  string option
+(** First field-level disagreement between two outcomes, rendered for a
+    diagnostic message; [None] when bit-identical.  [parents] (default
+    true) includes the routing-tree parent in the comparison.  Exposed
+    for the other passes (the allocation gate reuses it to identity-gate
+    its measured loops). *)
+
 val analyze :
   ?attacker_claim:int ->
   Topology.Graph.t ->

@@ -302,6 +302,32 @@ let stale_workspace () =
       [ Determinism.baseline; { Determinism.domains = 1; reuse_ws = true } ]
     ~compute g sec3 dep pairs
 
+(* ---- allocation-gate mutants ------------------------------------- *)
+
+(* A provider chain big enough for the gate's batch and metric probes. *)
+let alloc_graph () =
+  G.of_edges ~n:12 (List.init 11 (fun i -> G.Customer_provider (i + 1, i)))
+
+let alloc_site_dropped () =
+  (* Emulates a per-pair allocation regression the static A9 walk
+     cannot see (introduced by inlining, say): every measured scalar
+     pair allocates ~1k minor words on the side.  Blocks stay under
+     Max_young_wosize so they land in the minor heap. *)
+  let tamper () =
+    for _ = 1 to 8 do
+      ignore (Sys.opaque_identity (Array.make 128 0))
+    done
+  in
+  snd (Alloc_check.analyze ~tamper ~seed:11 (alloc_graph ()) [ sec3 ])
+
+let purity_taint_ignored () =
+  (* Emulates a history-dependent metric cache: the cache-served rerun
+     returns bounds nudged off the cold run's. *)
+  let taint b =
+    { b with Metric.H_metric.lb = b.Metric.H_metric.lb +. 0.125 }
+  in
+  snd (Alloc_check.analyze ~taint ~seed:11 (alloc_graph ()) [ sec3 ])
+
 (* ---- suite ------------------------------------------------------- *)
 
 type t = {
@@ -428,6 +454,22 @@ let all =
       run =
         (fun () ->
           snd (Opt_check.gadget ~fault:Optimize.Max_k.Flip_queue_priority ()));
+    };
+    {
+      name = "alloc-site-dropped";
+      expected_rule = "alloc/minor-budget";
+      description =
+        "every measured scalar pair allocates ~1k minor words on the \
+         side, emulating a regression the static A9 walk cannot see";
+      run = alloc_site_dropped;
+    };
+    {
+      name = "purity-taint-ignored";
+      expected_rule = "alloc/cache-consistency";
+      description =
+        "the cache-served H rerun returns bounds nudged off the cold \
+         run, emulating a history-dependent metric cache";
+      run = purity_taint_ignored;
     };
   ]
 

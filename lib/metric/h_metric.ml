@@ -198,12 +198,15 @@ let batch_item_bounds ~ws g policy dep pairs idxs item =
   let b = Routing.Batch.compute ~ws g policy dep ~dst:item.bdst ~attackers in
   let lanes = Array.length attackers in
   let lb = Array.make lanes 0 and ub = Array.make lanes 0 in
+  (* Hoisted once per solve: building these inside the [iter_fixed]
+     callback would box two fresh closures per fixed group. *)
+  let tick_ub l = ub.(l) <- ub.(l) + 1 in
+  let tick_lb l = lb.(l) <- lb.(l) + 1 in
   Routing.Batch.iter_fixed b (fun ~v:_ ~mask ~word ~parent:_ ->
       let open Routing.Engine.Packed in
       if cls_code_of word <> 3 && to_d_of word then begin
-        Prelude.Bitset.iter_word (fun l -> ub.(l) <- ub.(l) + 1) mask;
-        if not (to_m_of word) then
-          Prelude.Bitset.iter_word (fun l -> lb.(l) <- lb.(l) + 1) mask
+        Prelude.Bitset.iter_word tick_ub mask;
+        if not (to_m_of word) then Prelude.Bitset.iter_word tick_lb mask
       end);
   let sources = Topology.Graph.n g - 2 in
   Array.init lanes (fun l ->
@@ -713,12 +716,14 @@ module Replay = struct
     in
     let lanes = Array.length w.w_attackers in
     let lb = Array.make lanes 0 and ub = Array.make lanes 0 in
+    (* Same per-group closure hoist as [batch_item_bounds]. *)
+    let tick_ub l = ub.(l) <- ub.(l) + 1 in
+    let tick_lb l = lb.(l) <- lb.(l) + 1 in
     Routing.Batch.iter_fixed b (fun ~v:_ ~mask ~word ~parent:_ ->
         let open Routing.Engine.Packed in
         if cls_code_of word <> 3 && to_d_of word then begin
-          Prelude.Bitset.iter_word (fun l -> ub.(l) <- ub.(l) + 1) mask;
-          if not (to_m_of word) then
-            Prelude.Bitset.iter_word (fun l -> lb.(l) <- lb.(l) + 1) mask
+          Prelude.Bitset.iter_word tick_ub mask;
+          if not (to_m_of word) then Prelude.Bitset.iter_word tick_lb mask
         end);
     w.w_state <- Some (Routing.Incremental.Topo.snapshot ~n b);
     let sources = n - 2 in

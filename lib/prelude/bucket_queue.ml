@@ -1,47 +1,80 @@
 type t = {
-  buckets : int list array;
+  buckets : int array array;
+  (* Per-rank LIFO stacks: bucket [r] holds its live items in
+     [buckets.(r).(0 .. fill.(r) - 1)], newest last.  Popping from the top
+     preserves the historical cons/head-pop order exactly, which the
+     bit-identity gates over the routing kernels rely on.  Backing arrays
+     grow by doubling and are retained across {!clear}, so a reused queue
+     reaches a steady state where push/pop never allocate. *)
+  fill : int array;
   mutable cursor : int; (* no bucket below [cursor] is non-empty *)
   mutable size : int;
+  mutable last_rank : int; (* rank of the most recent pop *)
 }
 
 let create ~max_rank =
   if max_rank <= 0 then invalid_arg "Bucket_queue.create: max_rank <= 0";
-  { buckets = Array.make max_rank []; cursor = 0; size = 0 }
+  {
+    buckets = Array.make max_rank [||];
+    fill = Array.make max_rank 0;
+    cursor = 0;
+    size = 0;
+    last_rank = 0;
+  }
+
+(* Cold path: double bucket [rank]'s backing array and return it. *)
+let grow q rank b =
+  let b' = Array.make (max 4 (2 * Array.length b)) 0 in
+  Array.blit b 0 b' 0 (Array.length b);
+  q.buckets.(rank) <- b';
+  b'
 
 let push q ~rank item =
   if rank < q.cursor then
     invalid_arg
       (Printf.sprintf "Bucket_queue.push: rank %d below cursor %d" rank
          q.cursor);
-  if rank >= Array.length q.buckets then
+  if rank >= Array.length q.fill then
     invalid_arg
       (Printf.sprintf "Bucket_queue.push: rank %d >= max_rank %d" rank
-         (Array.length q.buckets));
-  q.buckets.(rank) <- item :: q.buckets.(rank);
+         (Array.length q.fill));
+  let b = Array.unsafe_get q.buckets rank in
+  let f = Array.unsafe_get q.fill rank in
+  let b = if f = Array.length b then grow q rank b else b in
+  Array.unsafe_set b f item;
+  Array.unsafe_set q.fill rank (f + 1);
   q.size <- q.size + 1
 
 let is_empty q = q.size = 0
-let capacity q = Array.length q.buckets
+let capacity q = Array.length q.fill
+let last_rank q = q.last_rank
 
-let rec pop q =
+let pop_exn q =
+  if q.size = 0 then invalid_arg "Bucket_queue.pop_exn: queue is empty";
+  while Array.unsafe_get q.fill q.cursor = 0 do
+    q.cursor <- q.cursor + 1
+  done;
+  let r = q.cursor in
+  let f = Array.unsafe_get q.fill r - 1 in
+  Array.unsafe_set q.fill r f;
+  q.size <- q.size - 1;
+  q.last_rank <- r;
+  Array.unsafe_get (Array.unsafe_get q.buckets r) f
+
+let pop q =
   if q.size = 0 then None
   else
-    match q.buckets.(q.cursor) with
-    | [] ->
-        q.cursor <- q.cursor + 1;
-        pop q
-    | item :: rest ->
-        q.buckets.(q.cursor) <- rest;
-        q.size <- q.size - 1;
-        Some (q.cursor, item)
+    let item = pop_exn q in
+    Some (q.last_rank, item)
 
 let clear q =
   (* Only the buckets at or above the cursor can be non-empty, but a reused
-     queue may have been cleared before reaching the end; wipe everything
-     that could hold stale items. *)
+     queue may have been cleared before reaching the end; wipe every fill
+     count that could be stale.  Backing arrays are kept for reuse. *)
   if q.size > 0 then
-    for i = q.cursor to Array.length q.buckets - 1 do
-      q.buckets.(i) <- []
+    for i = q.cursor to Array.length q.fill - 1 do
+      q.fill.(i) <- 0
     done;
   q.cursor <- 0;
-  q.size <- 0
+  q.size <- 0;
+  q.last_rank <- 0

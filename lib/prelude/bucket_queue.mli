@@ -20,7 +20,18 @@ val push : t -> rank:int -> int -> unit
 
 val pop : t -> (int * int) option
 (** [pop q] removes and returns [(rank, item)] with the smallest rank, or
-    [None] if the queue is empty. *)
+    [None] if the queue is empty.  Allocates the option and the pair; hot
+    drains use {!pop_exn} + {!last_rank} instead. *)
+
+val pop_exn : t -> int
+(** Allocation-free pop: removes and returns the item with the smallest
+    rank; the rank it was popped from is available as {!last_rank}.
+    Within a rank, items pop in LIFO order (same order as {!pop}).
+    Raises [Invalid_argument] on an empty queue. *)
+
+val last_rank : t -> int
+(** The rank of the most recent {!pop_exn}/{!pop}; 0 on a fresh or
+    freshly {!clear}ed queue. *)
 
 val is_empty : t -> bool
 

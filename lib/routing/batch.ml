@@ -197,7 +197,11 @@ let compute ?(tiebreak = Engine.Bounds) ?(attacker_claim = 1) ?ws g policy dep
   (* Offer (cls, len, secure, flags) via next hop [u] to the lanes in
      [mask] at AS [w] — the scalar relax applied group-wise.  Lanes
      whose group loses the rank compare collect in [winners] and join
-     the fresh lanes (no group yet) in one newly appended group. *)
+     the fresh lanes (no group yet) in one newly appended group.
+     The scratch refs are hoisted to solve scope: [relax] runs once per
+     (neighbor, offer) — the hottest loop in the batched kernel — and a
+     non-flambda build would otherwise box three fresh refs per call. *)
+  let remaining = ref 0 and winners = ref 0 and i = ref 0 in
   let relax w ~mask ~cls_code ~len ~secure ~flags ~parent:u =
     if len <= max_len then begin
       touch w;
@@ -207,9 +211,9 @@ let compute ?(tiebreak = Engine.Bounds) ?(attacker_claim = 1) ?ws g policy dep
         let j = (2 * cls_code) + sbit + if len <= kk then 0 else 6 in
         let r = (Array.unsafe_get mul j * len) + Array.unsafe_get add j in
         let base = w * max_lanes in
-        let remaining = ref live in
-        let winners = ref 0 in
-        let i = ref 0 in
+        remaining := live;
+        winners := 0;
+        i := 0;
         while !i < Array.unsafe_get gcnt w && !remaining <> 0 do
           let gi = base + !i in
           let gm = Array.unsafe_get gmask gi in
@@ -352,45 +356,53 @@ let compute ?(tiebreak = Engine.Bounds) ?(attacker_claim = 1) ?ws g policy dep
      (cls, len, secure), so expansion needs one CSR walk per distinct
      endpoint-flag value (to_m / to_d / both) — the masks are unioned
      per flag class first. *)
+  (* Scratch refs hoisted like [relax]'s; the [pop_exn]/[last_rank] pair
+     avoids boxing an option per settled rank. *)
+  let em1 = ref 0 and em2 = ref 0 and em3 = ref 0 in
+  let shared = ref 0 in
   let rec drain () =
-    match Prelude.Bucket_queue.pop queue with
-    | None -> ()
-    | Some (r, v) ->
-        let fx = Array.unsafe_get fixed v in
-        let base = v * max_lanes in
-        let em1 = ref 0 and em2 = ref 0 and em3 = ref 0 in
-        let shared = ref 0 in
-        for i = 0 to Array.unsafe_get gcnt v - 1 do
-          let gm = Array.unsafe_get gmask (base + i) in
-          if gm land fx = 0 then begin
-            let gw = Array.unsafe_get gword (base + i) in
-            if gw lsr Packed.rank_shift = r then begin
-              shared := gw;
-              match gw land (Packed.to_d_flag lor Packed.to_m_flag) with
-              | 1 -> em1 := !em1 lor gm
-              | 2 -> em2 := !em2 lor gm
-              | _ -> em3 := !em3 lor gm
-            end
+    if not (Prelude.Bucket_queue.is_empty queue) then begin
+      let v = Prelude.Bucket_queue.pop_exn queue in
+      let r = Prelude.Bucket_queue.last_rank queue in
+      let fx = Array.unsafe_get fixed v in
+      let base = v * max_lanes in
+      em1 := 0;
+      em2 := 0;
+      em3 := 0;
+      shared := 0;
+      for i = 0 to Array.unsafe_get gcnt v - 1 do
+        let gm = Array.unsafe_get gmask (base + i) in
+        if gm land fx = 0 then begin
+          let gw = Array.unsafe_get gword (base + i) in
+          if gw lsr Packed.rank_shift = r then begin
+            shared := gw;
+            match gw land (Packed.to_d_flag lor Packed.to_m_flag) with
+            | 1 -> em1 := !em1 lor gm
+            | 2 -> em2 := !em2 lor gm
+            | _ -> em3 := !em3 lor gm
           end
-        done;
-        let em_all = !em1 lor !em2 lor !em3 in
-        if em_all <> 0 then begin
-          Array.unsafe_set fixed v (fx lor em_all);
-          let gw = !shared in
-          let cls_code = Packed.cls_code_of gw in
-          let len = Packed.len_of gw in
-          let secure = Packed.secure_of gw in
-          if !em1 <> 0 then
-            expand v ~mask:!em1 ~cls_code ~len ~secure ~flags:1
-              ~exports_everywhere:false;
-          if !em2 <> 0 then
-            expand v ~mask:!em2 ~cls_code ~len ~secure ~flags:2
-              ~exports_everywhere:false;
-          if !em3 <> 0 then
-            expand v ~mask:!em3 ~cls_code ~len ~secure ~flags:3
-              ~exports_everywhere:false
-        end;
-        drain ()
+        end
+      done;
+      let em_all = !em1 lor !em2 lor !em3 in
+      if em_all <> 0 then begin
+        Array.unsafe_set fixed v (fx lor em_all);
+        let gw = !shared in
+        let cls_code = Packed.cls_code_of gw in
+        let len = Packed.len_of gw in
+        let secure = Packed.secure_of gw in
+        let m1 = !em1 and m2 = !em2 and m3 = !em3 in
+        if m1 <> 0 then
+          expand v ~mask:m1 ~cls_code ~len ~secure ~flags:1
+            ~exports_everywhere:false;
+        if m2 <> 0 then
+          expand v ~mask:m2 ~cls_code ~len ~secure ~flags:2
+            ~exports_everywhere:false;
+        if m3 <> 0 then
+          expand v ~mask:m3 ~cls_code ~len ~secure ~flags:3
+            ~exports_everywhere:false
+      end;
+      drain ()
+    end
   in
   drain ();
   {

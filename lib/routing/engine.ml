@@ -257,25 +257,29 @@ let compute ?(tiebreak = Bounds) ?(attacker_claim = 1) ?ws g policy dep ~dst
       expand m ~cls_code:(-1) ~len:attacker_claim ~secure:false
         ~flags:to_m_flag ~exports_everywhere:true
   | None -> ());
+  (* Allocation-free drain: [pop_exn]/[last_rank] avoid the option+pair
+     a [pop] per settled AS would box. *)
   let rec drain () =
-    match Prelude.Bucket_queue.pop queue with
-    | None -> ()
-    | Some (rank, v) ->
-        if Array.unsafe_get lengths v < 0 then begin
-          let wv = word.(v) in
-          assert (stamp.(v) = epoch && rank = wv lsr rank_shift);
-          let cls_code = (wv lsr cls_shift) land 3 in
-          let len = (wv lsr len_shift) land len_mask in
-          let secure = wv land secure_flag <> 0 in
-          Outcome.fix_code outcome v ~cls_code ~len ~secure
-            ~to_d:(wv land to_d_flag <> 0)
-            ~to_m:(wv land to_m_flag <> 0)
-            ~parent:parent.(v);
-          expand v ~cls_code ~len ~secure
-            ~flags:(wv land (to_d_flag lor to_m_flag))
-            ~exports_everywhere:false
-        end;
-        drain ()
+    if not (Prelude.Bucket_queue.is_empty queue) then begin
+      let v = Prelude.Bucket_queue.pop_exn queue in
+      if Array.unsafe_get lengths v < 0 then begin
+        let wv = word.(v) in
+        assert (
+          stamp.(v) = epoch
+          && Prelude.Bucket_queue.last_rank queue = wv lsr rank_shift);
+        let cls_code = (wv lsr cls_shift) land 3 in
+        let len = (wv lsr len_shift) land len_mask in
+        let secure = wv land secure_flag <> 0 in
+        Outcome.fix_code outcome v ~cls_code ~len ~secure
+          ~to_d:(wv land to_d_flag <> 0)
+          ~to_m:(wv land to_m_flag <> 0)
+          ~parent:parent.(v);
+        expand v ~cls_code ~len ~secure
+          ~flags:(wv land (to_d_flag lor to_m_flag))
+          ~exports_everywhere:false
+      end;
+      drain ()
+    end
   in
   drain ();
   outcome

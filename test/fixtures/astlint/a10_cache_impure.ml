@@ -1,0 +1,29 @@
+(* A10 seed: impurity flowing into the metric cache.  The local [Cache]
+   module stands in for the production cache — the fixture config points
+   [cache_api] at its [find]/[store], so the file needs no dependency on
+   lib/metric.  [bad_global] publishes a value derived from module-level
+   mutable state (call history), [bad_domain] one derived from the
+   executing domain; both must be reported.  [ok_lookup] is the control:
+   cache-coupled but a pure function of its argument. *)
+
+module Cache = struct
+  let table : (int, float) Hashtbl.t = Hashtbl.create 16
+  let find k = Hashtbl.find_opt table k
+  let store k v = Hashtbl.replace table k v
+end
+
+let counter = ref 0
+
+let bad_global g =
+  incr counter;
+  let v = float_of_int (g + !counter) in
+  Cache.store g v;
+  v
+
+let bad_domain g =
+  let v = float_of_int ((g + (Domain.self () :> int)) land 7) in
+  Cache.store g v;
+  v
+
+let ok_lookup g =
+  match Cache.find g with Some v -> v | None -> float_of_int g

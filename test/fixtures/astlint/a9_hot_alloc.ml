@@ -1,0 +1,21 @@
+(* A9 seed: allocation on the hot path.  The fixture config vets
+   [kernel_entry] as a kernel entry point, so everything it reaches has
+   a zero allocation budget — the ref, the capturing closure, the tuple
+   built per iteration and the boxed float root must all be reported.
+   [budgeted_helper] is the control: its single sprintf site is granted
+   by the fixture's budget manifest and must stay silent. *)
+
+let scale = ref 1.0
+
+(* Exactly one allocation site, paid for by the fixture budget. *)
+let budgeted_helper n = Printf.sprintf "%d" n
+
+let kernel_entry xs =
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let pair = (x, x + 1) in
+      acc := !acc +. (float_of_int (fst pair) *. !scale))
+    xs;
+  ignore (budgeted_helper (Array.length xs));
+  !acc

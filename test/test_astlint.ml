@@ -69,7 +69,8 @@ let test_all_rules_covered () =
     [
       A.Rules.rule_poly; A.Rules.rule_taint; A.Rules.rule_unsafe;
       A.Rules.rule_float; A.Rules.rule_swallow; A.Rules.rule_escape;
-      A.Rules.rule_lock; A.Rules.rule_epoch;
+      A.Rules.rule_lock; A.Rules.rule_epoch; A.Rules.rule_alloc;
+      A.Rules.rule_pure;
     ]
 
 (* The old grep lint dropped any hit line that begins with a comment
@@ -111,8 +112,21 @@ let test_tree_clean () =
     | Some f -> f
     | None -> Alcotest.fail "tools/astlint/allowlist.txt not found"
   in
+  let budget_file =
+    let candidates =
+      [
+        Filename.concat root "tools/astlint/alloc_budget.txt";
+        "tools/astlint/alloc_budget.txt";
+        "../tools/astlint/alloc_budget.txt";
+        "../../tools/astlint/alloc_budget.txt";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some f -> f
+    | None -> Alcotest.fail "tools/astlint/alloc_budget.txt not found"
+  in
   let outcome =
-    A.analyze ~allowlist_file ~root ~dirs:A.default_dirs ()
+    A.analyze ~allowlist_file ~budget_file ~root ~dirs:A.default_dirs ()
   in
   if outcome.A.units = [] then Alcotest.fail "no production units scanned";
   match D.errors outcome.A.report with
@@ -246,7 +260,7 @@ let test_stale_allowlist () =
     | Ok a -> a
     | Error m -> Alcotest.failf "parse failed: %s" m
   in
-  let cfg = A.fixture_config allow in
+  let cfg = A.fixture_config allow A.Budget.empty in
   let reg = A.Typereg.build outcome.A.units in
   let graph = A.Callgraph.build outcome.A.units in
   let findings =
@@ -262,6 +276,37 @@ let test_stale_allowlist () =
         f.source;
       Alcotest.(check string) "names the entry" "No.Such.Symbol" f.symbol
   | None -> Alcotest.fail "stale allowlist entry produced no finding"
+
+(* Budget ratchet: an entry whose symbol has no reachable allocation
+   left must surface as ast/alloc-budget-stale against the manifest. *)
+let test_stale_budget () =
+  let outcome = Lazy.force fixture_outcome in
+  let budget =
+    match
+      A.Budget.parse_string "No.Such.Kernel  3  -- decoy budget\n"
+    with
+    | Ok b -> b
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  let cfg =
+    { (A.fixture_config A.Allowlist.empty A.Budget.empty) with
+      A.Rules.budget }
+  in
+  let reg = A.Typereg.build outcome.A.units in
+  let graph = A.Callgraph.build outcome.A.units in
+  let findings =
+    A.Rules.apply ~budget_source:"budget.txt" cfg reg graph outcome.A.units
+  in
+  match
+    List.find_opt
+      (fun (f : A.Rules.finding) -> f.rule = A.Rules.rule_budget_stale)
+      findings
+  with
+  | Some f ->
+      Alcotest.(check string) "reported against the file" "budget.txt"
+        f.source;
+      Alcotest.(check string) "names the entry" "No.Such.Kernel" f.symbol
+  | None -> Alcotest.fail "stale budget entry produced no finding"
 
 (* ---- digest cache -------------------------------------------------- *)
 
@@ -350,6 +395,32 @@ let test_allowlist () =
   | Ok _ -> Alcotest.fail "malformed entry accepted"
   | Error _ -> ()
 
+(* ---- allocation-budget parser ------------------------------------- *)
+
+let test_budget () =
+  (match
+     A.Budget.parse_string "# hot-path budgets\n\nM.kernel  2  -- scratch\n"
+   with
+  | Ok t -> (
+      (match A.Budget.find t "M.kernel" with
+      | Some e ->
+          Alcotest.(check int) "count parsed" 2 e.A.Budget.count;
+          Alcotest.(check string) "reason parsed" "scratch" e.A.Budget.reason
+      | None -> Alcotest.fail "entry not found");
+      match A.Budget.find t "M.kernel.inner" with
+      | Some _ -> ()
+      | None -> Alcotest.fail "entry must cover symbols below it")
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match A.Budget.parse_string "M.kernel 2\n" with
+  | Ok _ -> Alcotest.fail "reasonless entry accepted"
+  | Error _ -> ());
+  (match A.Budget.parse_string "M.kernel 0 -- zero\n" with
+  | Ok _ -> Alcotest.fail "zero budget accepted (omit the entry instead)"
+  | Error _ -> ());
+  match A.Budget.parse_string "M.kernel two -- words\n" with
+  | Ok _ -> Alcotest.fail "non-integer count accepted"
+  | Error _ -> ()
+
 let () =
   Alcotest.run "astlint"
     [
@@ -378,11 +449,14 @@ let () =
             test_lockreg;
           Alcotest.test_case "stale allowlist entry flagged" `Quick
             test_stale_allowlist;
+          Alcotest.test_case "stale budget entry flagged" `Quick
+            test_stale_budget;
         ] );
       ( "plumbing",
         [
           Alcotest.test_case "symbol canonicalization" `Quick test_canon;
           Alcotest.test_case "allowlist parser" `Quick test_allowlist;
+          Alcotest.test_case "alloc-budget parser" `Quick test_budget;
           Alcotest.test_case "digest cache roundtrip" `Quick
             test_cache_roundtrip;
         ] );

@@ -221,6 +221,21 @@ let full_run_clean () =
   Alcotest.(check int) "no diagnostics at all" 0 (List.length report.D.diags);
   Alcotest.(check int) "eight passes ran" 8 (List.length report.D.passes)
 
+(* The allocation gate on a real generated topology: within budget,
+   identity-gated, cache probe consistent.  Runs on the main domain
+   only, so the per-domain Gc counters see exactly the measured loops. *)
+let alloc_gate_clean () =
+  let r =
+    Core.Topogen.generate
+      ~params:(Core.Topogen.default_params ~n:80)
+      (Core.Rng.create 11)
+  in
+  let report = C.run_alloc r.Core.Topogen.graph in
+  Alcotest.(check bool)
+    "alloc report ok"
+    true
+    (no_diags "alloc" report.D.diags && D.ok report)
+
 let run_flags_broken_graph () =
   let g =
     G.unsafe_of_adjacency
@@ -391,6 +406,7 @@ let () =
       ( "integration",
         [
           Alcotest.test_case "full run clean" `Quick full_run_clean;
+          Alcotest.test_case "alloc gate clean" `Quick alloc_gate_clean;
           Alcotest.test_case "broken graph flagged" `Quick
             run_flags_broken_graph;
           Alcotest.test_case "enabled env" `Quick enabled_env;

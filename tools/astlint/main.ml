@@ -1,18 +1,21 @@
 (* sbgp-astlint: typed-AST lint over dune's .cmt artifacts.
 
-   Production mode scans lib/ and bin/ with the A1-A8 rule catalogue
+   Production mode scans lib/ and bin/ with the A1-A10 rule catalogue
    (Analysis.Rules) and exits non-zero on any finding that is not in
-   the checked-in allowlist — including allowlist entries that matched
-   nothing (ast/allowlist-stale).  --fixtures inverts the polarity: it
-   scans the deliberately-bad corpus under test/fixtures/astlint and
-   exits non-zero when an expected finding does NOT fire — the
-   false-negative guard that keeps the rules honest.  Both run from
-   `dune build @lint` (see the root dune file), after @check has
-   produced the .cmt artifacts this tool reads.
+   the checked-in allowlist (or, for A9, the allocation-budget
+   manifest) — including allowlist/budget entries that matched nothing
+   (ast/allowlist-stale, ast/alloc-budget-stale).  --fixtures inverts
+   the polarity: it scans the deliberately-bad corpus under
+   test/fixtures/astlint and exits non-zero when an expected finding
+   does NOT fire — the false-negative guard that keeps the rules
+   honest.  Both run from `dune build @lint` (see the root dune file),
+   after @check has produced the .cmt artifacts this tool reads.
 
    A digest cache next to the build root makes repeated runs skip
    re-walking unchanged units; --json emits machine-readable
-   diagnostics for CI without changing the plain output. *)
+   diagnostics for CI without changing the plain output.  Both modes
+   print findings sorted by (file, line, rule) so diffs between runs
+   are stable. *)
 
 module D = Check.Diagnostic
 
@@ -23,6 +26,41 @@ let allowlist_candidates =
     "../../tools/astlint/allowlist.txt";
     "../../../tools/astlint/allowlist.txt";
   ]
+
+let budget_candidates =
+  [
+    "tools/astlint/alloc_budget.txt";
+    "../tools/astlint/alloc_budget.txt";
+    "../../tools/astlint/alloc_budget.txt";
+    "../../../tools/astlint/alloc_budget.txt";
+  ]
+
+(* Present findings in (file, line, rule) order regardless of the order
+   the rules emitted them in; ties broken on the message so the output
+   is a total order. *)
+let by_site (a : Analysis.Rules.finding) (b : Analysis.Rules.finding) =
+  let c = String.compare a.Analysis.Rules.source b.Analysis.Rules.source in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.Analysis.Rules.line b.Analysis.Rules.line in
+    if c <> 0 then c
+    else
+      let c = String.compare a.Analysis.Rules.rule b.Analysis.Rules.rule in
+      if c <> 0 then c
+      else String.compare a.Analysis.Rules.text b.Analysis.Rules.text
+
+(* The report appends the rule diagnostics after the load pass; swap
+   them for the sorted rendering so the text summary prints in the same
+   order as --json. *)
+let sort_outcome (outcome : Analysis.outcome) =
+  let findings = List.sort by_site outcome.Analysis.findings in
+  let report = outcome.Analysis.report in
+  let n_load =
+    List.length report.D.diags - List.length outcome.Analysis.findings
+  in
+  let load = List.filteri (fun i _ -> i < n_load) report.D.diags in
+  let diags = load @ List.map Analysis.Rules.to_diag findings in
+  { outcome with Analysis.findings; report = { report with D.diags } }
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -82,6 +120,7 @@ let print_json (outcome : Analysis.outcome) ~elapsed =
 let () =
   let root = ref None in
   let allowlist = ref None in
+  let budget = ref None in
   let fixtures = ref false in
   let quiet = ref false in
   let json = ref false in
@@ -96,6 +135,10 @@ let () =
         Arg.String (fun s -> allowlist := Some s),
         "FILE exemption file (default: tools/astlint/allowlist.txt when \
          present)" );
+      ( "--budget",
+        Arg.String (fun s -> budget := Some s),
+        "FILE A9 allocation-budget manifest (default: \
+         tools/astlint/alloc_budget.txt when present)" );
       ( "--fixtures",
         Arg.Set fixtures,
         " false-negative guard over test/fixtures/astlint" );
@@ -125,6 +168,11 @@ let () =
     match !allowlist with
     | Some f -> Some f
     | None -> List.find_opt Sys.file_exists allowlist_candidates
+  in
+  let budget_file =
+    match !budget with
+    | Some f -> Some f
+    | None -> List.find_opt Sys.file_exists budget_candidates
   in
   (* One snapshot per mode: save prunes to the units of the current
      run, so sharing a file between the production and fixture scans
@@ -166,8 +214,9 @@ let () =
   end
   else begin
     let outcome =
-      Analysis.analyze ?allowlist_file ?cache_path ~root
-        ~dirs:Analysis.default_dirs ()
+      sort_outcome
+        (Analysis.analyze ?allowlist_file ?budget_file ?cache_path ~root
+           ~dirs:Analysis.default_dirs ())
     in
     let elapsed = Unix.gettimeofday () -. t0 in
     let report = outcome.Analysis.report in

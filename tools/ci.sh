@@ -54,6 +54,27 @@ grep -q "ast/allowlist-stale" /tmp/astlint_stale_out || {
   echo "astlint: failure was not the stale-entry finding"; exit 1; }
 rm -f "$stale_allow" /tmp/astlint_stale_out
 
+echo "== astlint stale-budget gate (smoke)"
+# An allocation-budget entry whose symbol allocates nothing must fail
+# the run with an ast/alloc-budget-stale finding — budget grants cannot
+# outlive the allocation sites they were recorded for.
+stale_budget=$(mktemp)
+cat tools/astlint/alloc_budget.txt > "$stale_budget"
+echo "No.Such.Symbol 3 -- ci stale-gate probe" >> "$stale_budget"
+if dune exec tools/astlint/main.exe -- --budget "$stale_budget" \
+    > /tmp/astlint_budget_out 2>&1; then
+  echo "astlint: stale budget entry was not rejected"; exit 1
+fi
+grep -q "ast/alloc-budget-stale" /tmp/astlint_budget_out || {
+  echo "astlint: failure was not the stale-budget finding"; exit 1; }
+rm -f "$stale_budget" /tmp/astlint_budget_out
+
+echo "== sbgp check --alloc (smoke)"
+# The runtime allocation gate at toy scale: minor words per pair of the
+# scalar/batched/reference kernels against the recorded budgets,
+# identity-gated, plus the cold-vs-warm metric-cache probe.
+dune exec bin/sbgp.exe -- check --alloc -n 150
+
 echo "== sbgp check (smoke)"
 dune exec bin/sbgp.exe -- check -n 150 --pairs 6 --det-pairs 3 --mutants \
   --incremental --inc-pairs 4
